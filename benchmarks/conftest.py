@@ -1,0 +1,13 @@
+"""Shared benchmark fixtures: the reference evaluation sweep, cached once."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiment import run_all_domains
+
+
+@pytest.fixture(scope="session")
+def reference_runs():
+    """The seed-0 sweep over all seven domains (the paper's 150 sources)."""
+    return run_all_domains(seed=0)

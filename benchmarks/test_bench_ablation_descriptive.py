@@ -1,0 +1,93 @@
+"""Ablation — most-descriptive vs most-general labels (Section 3.2.1 + LI6).
+
+The paper argues (against WISE-Integrator's generality rule) that the most
+*descriptive* candidate conveys meaning better, reconciling the two via
+instance domains (LI6).  This bench compares three isolated-cluster naming
+policies over every isolated cluster in the corpus plus the paper's Figure 9
+case: most-general root, most-descriptive root without instances, and the
+full rule with LI6/LI7.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, write_result
+from repro.core.isolated import build_hierarchies, name_isolated_cluster
+from repro.core.semantics import SemanticComparator
+from repro.datasets import load_all_domains
+from repro.schema.clusters import Cluster
+from repro.schema.interface import make_field
+
+
+def _most_general(cluster: Cluster, comparator) -> str | None:
+    """WISE's policy: a hierarchy root, favoring the *least* content words."""
+    labels = cluster.labels()
+    if not labels:
+        return None
+    hierarchy = build_hierarchies(labels, comparator)
+    roots = sorted(
+        hierarchy.roots,
+        key=lambda l: (len(comparator.analyzer.label(l).tokens), l),
+    )
+    return roots[0]
+
+
+def _isolated_clusters():
+    comparator = SemanticComparator()
+    for name, dataset in load_all_domains(seed=0).items():
+        dataset.prepare()
+        from repro.schema.groups import partition_clusters
+
+        partition = partition_clusters(dataset.integrated())
+        for cluster_name in partition.c_int():
+            yield name, dataset.mapping[cluster_name], comparator
+
+
+def test_ablation_descriptive_vs_general():
+    rows = []
+    differs = 0
+    total = 0
+    for domain, cluster, comparator in _isolated_clusters():
+        general = _most_general(cluster, comparator)
+        descriptive = name_isolated_cluster(
+            cluster, comparator, use_instances=False
+        ).label
+        full = name_isolated_cluster(cluster, comparator).label
+        total += 1
+        if general != full:
+            differs += 1
+        rows.append([domain, cluster.name, general, descriptive, full])
+
+    # The paper's Figure 9 case, guaranteed present.
+    comparator = SemanticComparator()
+    fig9 = Cluster("c_class")
+    values = ("Economy", "Business", "First")
+    fig9.add("a", make_field("Class", instances=values))
+    fig9.add("b", make_field("Flight Class", instances=values))
+    fig9.add("c", make_field("Class of Tickets", instances=values[:2]))
+    general = _most_general(fig9, comparator)
+    full = name_isolated_cluster(fig9, comparator).label
+    rows.append(["(figure 9)", "c_class", general,
+                 name_isolated_cluster(fig9, comparator, use_instances=False).label,
+                 full])
+
+    report = format_table(
+        ["Domain", "Cluster", "Most general", "Most descriptive", "Full (LI6/LI7)"],
+        rows,
+        title="Ablation — label election policy for isolated clusters, seed 0",
+    )
+    write_result("ablation_descriptive", report)
+
+    # Figure 9's claim: the full rule overrides the generic root.
+    assert general == "Class"
+    assert full == "Flight Class"
+
+
+def test_bench_isolated_naming(benchmark):
+    comparator = SemanticComparator()
+    cluster = Cluster("c")
+    values = ("Economy", "Business", "First")
+    for i, label in enumerate(
+        ["Class", "Class of Ticket", "Preferred Cabin", "Flight Class"]
+    ):
+        cluster.add(f"i{i}", make_field(label, instances=values))
+    benchmark(name_isolated_cluster, cluster, comparator)

@@ -1,0 +1,99 @@
+"""Ablation — sensitivity to cluster-mapping quality.
+
+The paper assumes a perfect mapping from the matching step ([10, 23, 24]).
+This bench measures what the naming algorithm loses when the mapping
+carries realistic matcher errors: split errors (missed correspondences)
+and merge errors (over-matching), injected at increasing rates into the
+Auto domain's ground truth.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, write_result
+from repro.core.metrics import (
+    fields_consistency_accuracy,
+    internal_nodes_accuracy,
+)
+from repro.core.pipeline import label_integrated_interface
+from repro.core.semantics import SemanticComparator
+from repro.datasets import load_domain
+from repro.datasets.corruption import corrupt_mapping
+from repro.merge import merge_interfaces
+
+
+def _run(split_rate: float, merge_rate: float):
+    dataset = load_domain("auto", seed=0)
+    dataset.prepare()
+    mapping = corrupt_mapping(
+        dataset.mapping, split_rate=split_rate, merge_rate=merge_rate, seed=1
+    )
+    root = merge_interfaces(dataset.interfaces, mapping)
+    result = label_integrated_interface(
+        root, dataset.interfaces, mapping, SemanticComparator()
+    )
+    return (
+        fields_consistency_accuracy(result),
+        internal_nodes_accuracy(result),
+        len(root.leaves()),
+        result.classification.value,
+    )
+
+
+def test_ablation_mapping_quality():
+    rows = []
+    outcomes = {}
+    for split_rate, merge_rate in (
+        (0.0, 0.0),
+        (0.05, 0.0),
+        (0.15, 0.0),
+        (0.0, 0.1),
+        (0.1, 0.1),
+    ):
+        fld, internal, leaves, classification = _run(split_rate, merge_rate)
+        outcomes[(split_rate, merge_rate)] = (fld, leaves)
+        rows.append([
+            f"{split_rate:.0%}",
+            f"{merge_rate:.0%}",
+            leaves,
+            f"{fld:.0%}",
+            f"{internal:.0%}",
+            classification,
+        ])
+    report = format_table(
+        ["split err", "merge err", "int. fields", "FldAcc", "IntAcc", "class"],
+        rows,
+        title="Ablation — naming under mapping corruption (Auto, seed 0)",
+    )
+    write_result("ablation_mapping", report)
+
+    # Split errors inflate the integrated interface (missed correspondences
+    # surface as duplicate fields); the clean run stays the smallest.
+    clean_leaves = outcomes[(0.0, 0.0)][1]
+    assert outcomes[(0.15, 0.0)][1] > clean_leaves
+    # Merge errors shrink it.
+    assert outcomes[(0.0, 0.1)][1] <= clean_leaves
+
+
+def test_corruption_preserves_mapping_invariants():
+    dataset = load_domain("job", seed=0)
+    dataset.prepare()
+    corrupted = corrupt_mapping(
+        dataset.mapping, split_rate=0.2, merge_rate=0.2, seed=3
+    )
+    corrupted.validate_one_to_one()
+    # Every original member survives somewhere.
+    original_members = {
+        id(node)
+        for cluster in dataset.mapping.clusters
+        for node in cluster.members.values()
+    }
+    corrupted_members = {
+        id(node)
+        for cluster in corrupted.clusters
+        for node in cluster.members.values()
+    }
+    assert corrupted_members == original_members
+
+
+def test_bench_corruption(benchmark):
+    benchmark(_run, 0.1, 0.1)

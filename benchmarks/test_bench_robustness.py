@@ -1,0 +1,68 @@
+"""Robustness — Table 6's quality metrics across corpus seeds.
+
+The paper evaluates one fixed corpus; a reproduction on synthetic data must
+show its headline numbers are not a single lucky draw.  This bench sweeps
+five corpus seeds and reports mean and spread of FldAcc / IntAcc / HA per
+domain, plus how often each domain lands in each Definition-8 class.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import Counter
+
+from repro.bench import format_table, write_result
+from repro.datasets import DOMAIN_TITLES, DOMAINS
+from repro.experiment import run_all_domains
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def _sweep():
+    per_domain = {name: [] for name in DOMAINS}
+    for seed in SEEDS:
+        for name, run in run_all_domains(seed=seed, respondent_count=5).items():
+            per_domain[name].append(run)
+    return per_domain
+
+
+def test_robustness_report():
+    per_domain = _sweep()
+    rows = []
+    for name, runs in per_domain.items():
+        fld = [r.fld_acc for r in runs]
+        internal = [r.int_acc for r in runs]
+        ha = [r.ha for r in runs]
+        classes = Counter(r.classification for r in runs)
+        rows.append([
+            DOMAIN_TITLES[name],
+            f"{statistics.mean(fld):.1%}±{statistics.pstdev(fld):.1%}",
+            f"{statistics.mean(internal):.1%}±{statistics.pstdev(internal):.1%}",
+            f"{statistics.mean(ha):.1%}±{statistics.pstdev(ha):.1%}",
+            ", ".join(f"{c}×{n}" for c, n in classes.most_common()),
+        ])
+    report = format_table(
+        ["Domain", "FldAcc", "IntAcc", "HA", "classifications"],
+        rows,
+        title=f"Robustness — metrics over seeds {SEEDS}",
+    )
+    write_result("robustness", report)
+
+    # Stability claims: FldAcc stays >= 85% on every seed in every domain
+    # (misses are always fields labeled nowhere in the corpus — the paper's
+    # Real-Estate Lease-Rate class), and Car Rental is inconsistent on a
+    # majority of seeds (it is the paper's structurally hardest domain).
+    for name, runs in per_domain.items():
+        for run in runs:
+            assert run.fld_acc >= 0.85, (name, run.dataset.seed, run.fld_acc)
+            for cluster in run.labeling.unlabeled_fields():
+                if cluster in run.dataset.mapping:
+                    assert run.dataset.mapping[cluster].labels() == [], (
+                        name, cluster
+                    )
+    carrental = Counter(r.classification for r in per_domain["carrental"])
+    assert carrental.get("inconsistent", 0) >= len(SEEDS) // 2 + 1
+
+
+def test_bench_one_seed_sweep(benchmark):
+    benchmark(run_all_domains, 3, None, 1)

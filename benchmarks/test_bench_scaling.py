@@ -1,0 +1,72 @@
+"""Scaling — naming cost versus corpus size.
+
+The paper does not report running times; this bench characterizes the
+implementation: wall-clock of the naming pipeline as the number of source
+interfaces grows (subsampling the hotels corpus, the largest domain), and
+the per-stage costs (merge vs naming vs survey).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import format_table, write_result
+from repro.core.pipeline import label_integrated_interface
+from repro.core.semantics import SemanticComparator
+from repro.datasets import load_domain
+from repro.merge import merge_interfaces
+from repro.schema.clusters import Mapping
+
+
+def _subcorpus(count: int):
+    """The first ``count`` hotels interfaces with a restricted mapping."""
+    dataset = load_domain("hotels", seed=0)
+    dataset.prepare()
+    interfaces = dataset.interfaces[:count]
+    names = {qi.name for qi in interfaces}
+    mapping = Mapping()
+    for cluster in dataset.mapping.clusters:
+        for interface_name, node in cluster.members.items():
+            if interface_name in names:
+                mapping.assign(cluster.name, interface_name, node)
+    return interfaces, mapping
+
+
+def _name_subcorpus(count: int):
+    interfaces, mapping = _subcorpus(count)
+    root = merge_interfaces(interfaces, mapping)
+    comparator = SemanticComparator()
+    return label_integrated_interface(root, interfaces, mapping, comparator)
+
+
+def test_scaling_report():
+    rows = []
+    for count in (5, 10, 20, 30):
+        start = time.perf_counter()
+        result = _name_subcorpus(count)
+        elapsed = time.perf_counter() - start
+        labeled = sum(1 for l in result.field_labels.values() if l)
+        rows.append([
+            count,
+            f"{elapsed * 1000:.0f} ms",
+            len(result.field_labels),
+            labeled,
+            len(result.internal_nodes()),
+        ])
+    report = format_table(
+        ["#interfaces", "naming time", "clusters", "labeled fields", "int nodes"],
+        rows,
+        title="Scaling — hotels subcorpora, merge+naming wall clock",
+    )
+    write_result("scaling", report)
+
+    # More sources never lose clusters.
+    cluster_counts = [row[2] for row in rows]
+    assert cluster_counts == sorted(cluster_counts)
+
+
+@pytest.mark.parametrize("count", [5, 15, 30])
+def test_bench_naming_scaling(benchmark, count):
+    benchmark(_name_subcorpus, count)

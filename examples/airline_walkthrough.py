@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Airline walkthrough — the paper's hardest domain, stage by stage.
+
+Shows every intermediate the naming algorithm works with: the source
+interfaces and their labeling quality, the 1:m Passengers reduction
+(Figure 2), the merged tree, the group relations with their consistency
+levels, the inference-rule log, the survey, and why the domain ends up
+*inconsistent* (as in the paper).
+
+Run:  python examples/airline_walkthrough.py
+"""
+
+from collections import Counter
+
+from repro import SemanticComparator, run_domain
+from repro.core import GroupRelation
+from repro.core.result import NodeStatus
+from repro.schema.groups import GroupKind
+
+
+def main() -> None:
+    run = run_domain("airline", seed=0)
+    dataset = run.dataset
+    labeling = run.labeling
+
+    print("=" * 72)
+    print("SOURCES")
+    print("=" * 72)
+    print(f"{len(dataset.interfaces)} interfaces; "
+          f"avg {run.avg_leaves:.1f} fields, depth {run.avg_depth:.1f}, "
+          f"labeling quality {run.lq:.0%} (paper: 10.7 fields, depth 3.6, 53%)")
+    sample = dataset.interfaces[0]
+    print(f"\nA sample source ({sample.name}):")
+    for line in sample.root.pretty().splitlines():
+        print("   ", line)
+
+    print()
+    print("=" * 72)
+    print("1:m REDUCTION (the Passengers granularity mismatch, Figure 2)")
+    print("=" * 72)
+    if dataset.mapping.expansions:
+        for record in dataset.mapping.expansions:
+            print(f"  {record.interface}: field {record.field_label!r} expanded "
+                  f"over {len(record.clusters)} clusters")
+    else:
+        print("  (no collapsed fields were sampled at this seed)")
+
+    print()
+    print("=" * 72)
+    print("GROUP RELATIONS AND THEIR SOLUTIONS")
+    print("=" * 72)
+    for name, result in labeling.group_results.items():
+        group = result.group
+        if group.kind is GroupKind.ROOT:
+            continue
+        level = result.level.name if result.level else "partial"
+        print(f"\n[{name}] consistent={result.consistent} level={level}")
+        print(result.relation.as_table())
+        chosen = labeling.chosen_solutions.get(name)
+        if chosen:
+            labels = {c: l for c, l in chosen.labels.items()}
+            print(f"  -> solution: {labels}")
+
+    print()
+    print("=" * 72)
+    print("THE LABELED INTEGRATED INTERFACE")
+    print("=" * 72)
+    for line in labeling.root.pretty().splitlines():
+        print("   ", line)
+
+    print()
+    print("=" * 72)
+    print("WHY THE DOMAIN IS INCONSISTENT (Definition 8)")
+    print("=" * 72)
+    for node in labeling.internal_nodes():
+        status = labeling.node_status.get(node.name)
+        if status in (NodeStatus.UNLABELED_BLOCKED,
+                      NodeStatus.UNLABELED_NO_POTENTIALS):
+            print(f"  unlabeled internal node over "
+                  f"{sorted(node.descendant_leaf_clusters())}: {status.value}")
+    print(f"  classification: {run.classification} "
+          f"(paper: inconsistent, IntAcc 84.6%)")
+    print(f"  IntAcc: {run.int_acc:.0%}")
+
+    print()
+    print("=" * 72)
+    print("INFERENCE RULES USED (Figure 10's airline slice)")
+    print("=" * 72)
+    counts = Counter(labeling.inference_log.counts)
+    for rule, count in counts.most_common():
+        print(f"  {rule.value}: {count}")
+
+    print()
+    print("=" * 72)
+    print("SURVEY (11 simulated respondents)")
+    print("=" * 72)
+    print(f"  HA  = {run.ha:.1%} (paper 96.6%)")
+    print(f"  HA* = {run.ha_star:.1%} (paper 98.3%)")
+    if run.study.flag_counts:
+        print("  flagged fields (votes):")
+        for cluster, votes in run.study.flag_counts.most_common():
+            label = labeling.field_labels.get(cluster)
+            print(f"    {cluster} (label: {label!r}): {votes}")
+        print("  -- the Return From / Return To group confused the paper's")
+        print("     respondents too (4 of 11).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro — reproduction of "Meaningful Labeling of Integrated Query Interfaces"
+(Dragut, Yu, Meng; VLDB 2006).
+
+The package labels the fields and internal nodes of an integrated deep-web
+query interface so that labels are *horizontally* consistent (within field
+groups) and *vertically* consistent (along ancestor-descendant paths).
+
+Quickstart::
+
+    from repro import run_domain
+
+    run = run_domain("airline")
+    print(run.labeling.root.pretty())      # the labeled integrated interface
+    print(run.fld_acc, run.int_acc, run.ha)
+
+Packages
+--------
+``repro.lexicon``   Porter stemmer, MiniWordNet, label normalization.
+``repro.schema``    schema trees, query interfaces, clusters, groups.
+``repro.merge``     integrated-tree construction (the structural step [8]).
+``repro.matching``  optional label-based cluster recovery.
+``repro.core``      THE PAPER: Definitions 1-8, rules LI1-LI7, the 3-phase
+                    naming pipeline and the evaluation metrics.
+``repro.datasets``  the seeded 7-domain synthetic evaluation corpus.
+``repro.survey``    simulated human-acceptance study (HA / HA*).
+"""
+
+from .core.label import Label, LabelAnalyzer
+from .core.pipeline import NamingOptions, label_integrated_interface
+from .core.result import LabelingResult, NodeStatus, TreeConsistency
+from .core.semantics import LabelRelation, SemanticComparator
+from .datasets.registry import DOMAINS, load_all_domains, load_domain
+from .experiment import DomainRunResult, run_all_domains, run_domain
+from .merge.merger import merge_interfaces
+from .schema.interface import FieldKind, QueryInterface, make_field, make_group
+from .schema.tree import SchemaNode
+from .survey.study import run_study
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DOMAINS",
+    "DomainRunResult",
+    "FieldKind",
+    "Label",
+    "LabelAnalyzer",
+    "LabelRelation",
+    "LabelingResult",
+    "NamingOptions",
+    "NodeStatus",
+    "QueryInterface",
+    "SchemaNode",
+    "SemanticComparator",
+    "TreeConsistency",
+    "__version__",
+    "label_integrated_interface",
+    "load_all_domains",
+    "load_domain",
+    "make_field",
+    "make_group",
+    "merge_interfaces",
+    "run_all_domains",
+    "run_domain",
+    "run_study",
+]

@@ -1,0 +1,5 @@
+"""Benchmark-harness helpers shared by the ``benchmarks/`` suite."""
+
+from .tables import format_table, write_result
+
+__all__ = ["format_table", "write_result"]

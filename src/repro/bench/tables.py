@@ -1,0 +1,42 @@
+"""Plain-text table rendering + result persistence for the benchmarks.
+
+Each benchmark regenerates one of the paper's tables/figures; the rendered
+rows go both to stdout (visible with ``pytest -s``) and to
+``benchmarks/results/<name>.txt`` so the artifacts survive captured runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["format_table", "write_result"]
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Fixed-width table with a separator under the header."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def write_result(name: str, content: str, directory: str | Path | None = None) -> Path:
+    """Print ``content`` and persist it under ``benchmarks/results/``."""
+    if directory is None:
+        directory = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.txt"
+    path.write_text(content + "\n")
+    print(content)
+    return path

@@ -1,0 +1,310 @@
+"""Command-line interface: experiments and labeling from the shell.
+
+::
+
+    python -m repro table6                 # the paper's main results table
+    python -m repro figure10               # inference-rule involvement
+    python -m repro domain airline --tree  # one domain, labeled tree printed
+    python -m repro generate auto -o corpus.json
+    python -m repro label corpus.json --html out.html
+    python -m repro parse page.html        # extract forms from HTML
+
+Every command accepts ``--seed`` where a corpus is generated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .core.inference import InferenceRule
+from .core.pipeline import label_integrated_interface
+from .core.semantics import SemanticComparator
+from .datasets.registry import DOMAIN_TITLES, DOMAINS, load_domain
+from .experiment import run_all_domains, run_domain
+from .html import parse_forms, render_form
+from .merge import merge_interfaces
+from .schema.serialize import load_corpus, save_corpus
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Meaningful Labeling of Integrated Query "
+            "Interfaces' (Dragut, Yu, Meng; VLDB 2006)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table6 = sub.add_parser("table6", help="regenerate the paper's Table 6")
+    table6.add_argument("--seed", type=int, default=0)
+    table6.add_argument(
+        "--respondents", type=int, default=11,
+        help="simulated survey size (the paper used 11)",
+    )
+
+    figure10 = sub.add_parser("figure10", help="inference-rule involvement")
+    figure10.add_argument("--seed", type=int, default=0)
+
+    domain = sub.add_parser("domain", help="run one domain end to end")
+    domain.add_argument("name", choices=sorted(DOMAINS))
+    domain.add_argument("--seed", type=int, default=0)
+    domain.add_argument("--tree", action="store_true",
+                        help="print the labeled integrated tree")
+    domain.add_argument("--html", type=Path, default=None,
+                        help="write the labeled interface as an HTML form")
+
+    generate = sub.add_parser("generate", help="save a synthetic corpus as JSON")
+    generate.add_argument("name", choices=sorted(DOMAINS))
+    generate.add_argument("-o", "--out", type=Path, required=True)
+    generate.add_argument("--seed", type=int, default=0)
+
+    label = sub.add_parser("label", help="merge + label a saved corpus")
+    label.add_argument("corpus", type=Path)
+    label.add_argument("--html", type=Path, default=None)
+    label.add_argument("--lexicon", type=Path, default=None,
+                       help="extra synsets/hypernyms (JSON) merged over the "
+                            "built-in lexicon")
+
+    parse = sub.add_parser("parse", help="extract query interfaces from HTML")
+    parse.add_argument("page", type=Path)
+    parse.add_argument("--json", action="store_true",
+                       help="emit the schema trees as JSON")
+
+    describe = sub.add_parser("describe", help="corpus statistics for a domain")
+    describe.add_argument("name", choices=sorted(DOMAINS))
+    describe.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser("sweep", help="Table 6 metrics across corpus seeds")
+    sweep.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    sweep.add_argument("--respondents", type=int, default=5)
+
+    lint = sub.add_parser(
+        "lint", help="check a form/corpus against the well-designedness properties"
+    )
+    lint.add_argument("page", type=Path,
+                      help="an HTML page with a form, or a corpus JSON")
+
+    report = sub.add_parser("report", help="full Markdown report for a domain")
+    report.add_argument("name", choices=sorted(DOMAINS))
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("-o", "--out", type=Path, default=None,
+                        help="write to a file instead of stdout")
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Commands.
+# ----------------------------------------------------------------------
+
+
+def _cmd_table6(args) -> int:
+    runs = run_all_domains(seed=args.seed, respondent_count=args.respondents)
+    header = (
+        f"{'Domain':<12} {'srcL':>5} {'LQ':>4} {'intL':>5} {'grp':>4} "
+        f"{'FldAcc':>7} {'IntAcc':>7} {'HA':>6} {'HA*':>6}  class"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, run in runs.items():
+        stats = run.integrated
+        print(
+            f"{DOMAIN_TITLES[name]:<12} {run.avg_leaves:>5.1f} {run.lq:>4.0%} "
+            f"{stats.leaves:>5} {stats.groups:>4} {run.fld_acc:>7.0%} "
+            f"{run.int_acc:>7.0%} {run.ha:>6.1%} {run.ha_star:>6.1%}  "
+            f"{run.classification}"
+        )
+    return 0
+
+
+def _cmd_figure10(args) -> int:
+    runs = run_all_domains(seed=args.seed, respondent_count=1)
+    combined = {}
+    for run in runs.values():
+        for rule, count in run.inference_log.counts.items():
+            combined[rule] = combined.get(rule, 0) + count
+    total = sum(combined.values()) or 1
+    print(f"{'Rule':<5} {'Count':>6} {'Share':>7}")
+    print("-" * 20)
+    for rule in InferenceRule:
+        count = combined.get(rule, 0)
+        print(f"{rule.value:<5} {count:>6} {count / total:>7.1%}")
+    return 0
+
+
+def _cmd_domain(args) -> int:
+    run = run_domain(args.name, seed=args.seed)
+    print(f"{DOMAIN_TITLES[args.name]}: {run.classification}")
+    print(f"  FldAcc {run.fld_acc:.0%} | IntAcc {run.int_acc:.0%} | "
+          f"HA {run.ha:.1%} | HA* {run.ha_star:.1%}")
+    if args.tree:
+        print(run.labeling.root.pretty())
+    if args.html is not None:
+        html = render_form(
+            run.labeling.root,
+            title=f"Integrated {DOMAIN_TITLES[args.name]} Search",
+        )
+        args.html.write_text(html)
+        print(f"wrote {args.html}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    dataset = load_domain(args.name, seed=args.seed)
+    save_corpus(args.out, dataset.interfaces, dataset.mapping)
+    print(f"wrote {args.out}: {len(dataset.interfaces)} interfaces, "
+          f"{len(dataset.mapping)} clusters")
+    return 0
+
+
+def _cmd_label(args) -> int:
+    interfaces, mapping = load_corpus(args.corpus)
+    mapping.expand_one_to_many(interfaces)
+    root = merge_interfaces(interfaces, mapping)
+    comparator = SemanticComparator()
+    if args.lexicon is not None:
+        from .core.label import LabelAnalyzer
+        from .lexicon.io import load_wordnet
+
+        comparator = SemanticComparator(LabelAnalyzer(load_wordnet(args.lexicon)))
+    result = label_integrated_interface(root, interfaces, mapping, comparator)
+    print(root.pretty())
+    print(f"classification: {result.classification.value}")
+    if args.html is not None:
+        args.html.write_text(render_form(root))
+        print(f"wrote {args.html}")
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    from .core.metrics import labeling_quality
+
+    dataset = load_domain(args.name, seed=args.seed)
+    interfaces = dataset.interfaces
+    print(f"{DOMAIN_TITLES[args.name]} (seed {args.seed}): "
+          f"{len(interfaces)} interfaces")
+    avg_leaves = sum(qi.leaf_count() for qi in interfaces) / len(interfaces)
+    avg_int = sum(qi.internal_node_count() for qi in interfaces) / len(interfaces)
+    avg_depth = sum(qi.depth() for qi in interfaces) / len(interfaces)
+    print(f"  avg fields {avg_leaves:.1f} | avg internal nodes {avg_int:.1f} | "
+          f"avg depth {avg_depth:.1f} | LQ {labeling_quality(interfaces):.0%}")
+    dataset.prepare()
+    print(f"  clusters: {len(dataset.mapping)}"
+          f" | 1:m reductions: {len(dataset.mapping.expansions)}")
+    print("  cluster frequencies (top 10):")
+    clusters = sorted(
+        dataset.mapping.clusters, key=lambda c: -c.frequency()
+    )[:10]
+    for cluster in clusters:
+        labels = ", ".join(cluster.labels()[:4])
+        print(f"    {cluster.name:<22} x{cluster.frequency():<3} {labels}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .experiment import sweep_seeds
+
+    rows = sweep_seeds(seeds=tuple(args.seeds), respondent_count=args.respondents)
+    header = (
+        f"{'Domain':<12} {'FldAcc':>14} {'IntAcc':>14} {'HA':>6}  classes"
+    )
+    print(f"seeds: {args.seeds}")
+    print(header)
+    print("-" * len(header))
+    for name, row in rows.items():
+        classes = ", ".join(
+            f"{c}x{n}" for c, n in sorted(row.classifications.items())
+        )
+        print(
+            f"{DOMAIN_TITLES[name]:<12} "
+            f"{row.fld_acc_mean:>6.1%}/{row.fld_acc_min:<6.1%} "
+            f"{row.int_acc_mean:>6.1%}/{row.int_acc_min:<6.1%} "
+            f"{row.ha_mean:>6.1%}  {classes}"
+        )
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    from .lint import lint_interface
+
+    text = args.page.read_text()
+    roots = []
+    if text.lstrip().startswith("{"):
+        interfaces, __ = load_corpus(args.page)
+        roots = [(qi.name, qi.root) for qi in interfaces]
+    else:
+        roots = [
+            (qi.name, qi.root) for qi in parse_forms(text, args.page.stem)
+        ]
+    if not roots:
+        print("nothing to lint", file=sys.stderr)
+        return 1
+    total_warns = 0
+    for name, root in roots:
+        findings = lint_interface(root)
+        print(f"[{name}] {len(findings)} finding(s)")
+        for finding in findings:
+            print(f"  {finding}")
+            if finding.severity == "warn":
+                total_warns += 1
+    return 1 if total_warns else 0
+
+
+def _cmd_report(args) -> int:
+    from .report import domain_report
+
+    run = run_domain(args.name, seed=args.seed)
+    document = domain_report(run)
+    if args.out is not None:
+        args.out.write_text(document)
+        print(f"wrote {args.out}")
+    else:
+        print(document)
+    return 0
+
+
+def _cmd_parse(args) -> int:
+    html = args.page.read_text()
+    interfaces = parse_forms(html, name_prefix=args.page.stem)
+    if not interfaces:
+        print("no forms found", file=sys.stderr)
+        return 1
+    if args.json:
+        from .schema.serialize import interface_to_dict
+
+        print(json.dumps([interface_to_dict(qi) for qi in interfaces], indent=2))
+    else:
+        for qi in interfaces:
+            print(f"[{qi.name}] {qi.leaf_count()} fields, "
+                  f"LQ {qi.labeling_quality():.0%}")
+            print(qi.root.pretty())
+    return 0
+
+
+_COMMANDS = {
+    "table6": _cmd_table6,
+    "figure10": _cmd_figure10,
+    "domain": _cmd_domain,
+    "generate": _cmd_generate,
+    "label": _cmd_label,
+    "parse": _cmd_parse,
+    "report": _cmd_report,
+    "sweep": _cmd_sweep,
+    "describe": _cmd_describe,
+    "lint": _cmd_lint,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests/test_cli
+    raise SystemExit(main())

@@ -1,0 +1,90 @@
+"""Core: the paper's naming algorithm — Definitions 1-8 and rules LI1-LI7."""
+
+from .conflicts import HomonymRepair, find_homonym_pairs, resolve_homonyms
+from .consistency import (
+    ConsistencyLevel,
+    Partition,
+    combine,
+    combine_closure,
+    covering_partitions,
+    find_partitions,
+    solutions_of_partition,
+    tuples_consistent,
+)
+from .group_relation import GroupRelation, GroupTuple
+from .inference import InferenceEvent, InferenceLog, InferenceRule
+from .instances import (
+    domain_of_label,
+    li6_semantically_equivalent,
+    li7_at_least_as_general,
+    li7_value_labels,
+)
+from .internal_nodes import (
+    CandidateFinder,
+    CandidateLabel,
+    SourceInternalNode,
+    collect_source_internal_nodes,
+)
+from .isolated import HypernymyHierarchy, build_hierarchies, name_isolated_cluster
+from .label import Label, LabelAnalyzer
+from .metrics import (
+    IntegratedStats,
+    fields_consistency_accuracy,
+    inference_shares,
+    integrated_stats,
+    internal_nodes_accuracy,
+    labeling_quality,
+)
+from .pipeline import NamingOptions, label_integrated_interface
+from .result import LabelingResult, NodeStatus, TreeConsistency
+from .semantics import LabelRelation, SemanticComparator
+from .solutions import GroupNamingResult, GroupSolution, name_group, rank_tuple_solutions
+
+__all__ = [
+    "CandidateFinder",
+    "CandidateLabel",
+    "ConsistencyLevel",
+    "GroupNamingResult",
+    "GroupRelation",
+    "GroupSolution",
+    "GroupTuple",
+    "HomonymRepair",
+    "HypernymyHierarchy",
+    "InferenceEvent",
+    "InferenceLog",
+    "InferenceRule",
+    "IntegratedStats",
+    "Label",
+    "LabelAnalyzer",
+    "LabelRelation",
+    "LabelingResult",
+    "NamingOptions",
+    "NodeStatus",
+    "Partition",
+    "SemanticComparator",
+    "SourceInternalNode",
+    "TreeConsistency",
+    "build_hierarchies",
+    "collect_source_internal_nodes",
+    "combine",
+    "combine_closure",
+    "covering_partitions",
+    "domain_of_label",
+    "fields_consistency_accuracy",
+    "find_homonym_pairs",
+    "find_partitions",
+    "inference_shares",
+    "integrated_stats",
+    "internal_nodes_accuracy",
+    "label_integrated_interface",
+    "labeling_quality",
+    "li6_semantically_equivalent",
+    "li7_at_least_as_general",
+    "li7_value_labels",
+    "name_group",
+    "name_isolated_cluster",
+    "rank_tuple_solutions",
+    "resolve_homonyms",
+    "solutions_of_partition",
+    "tuples_consistent",
+]

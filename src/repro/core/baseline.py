@@ -1,0 +1,77 @@
+"""Baseline labeler — majority voting without any consistency machinery.
+
+The paper's implicit baseline is what integration systems did before it:
+pick each field's most frequent source label (WISE-Integrator's style,
+modulo its generality rule) and each section's most frequent candidate,
+independently, with no horizontal/vertical consistency, no homonym repair,
+no inference rules.  This module implements that baseline so the benefit
+of the naming algorithm is measurable (``benchmarks/test_bench_baseline.py``
+lints both outputs and counts the defects the consistency machinery
+removes).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..schema.clusters import Mapping
+from ..schema.interface import QueryInterface
+from ..schema.tree import SchemaNode
+from .internal_nodes import collect_source_internal_nodes
+
+__all__ = ["naive_label_interface"]
+
+
+def _majority(labels: list[str]) -> str | None:
+    """Most frequent label, ties broken lexicographically."""
+    if not labels:
+        return None
+    counts = Counter(labels)
+    best = max(counts.items(), key=lambda kv: (kv[1], [-ord(c) for c in kv[0]]))
+    # Deterministic tie-break: highest count, then lexicographically first.
+    top_count = max(counts.values())
+    candidates = sorted(l for l, c in counts.items() if c == top_count)
+    return candidates[0]
+
+
+def naive_label_interface(
+    integrated_root: SchemaNode,
+    interfaces: list[QueryInterface],
+    mapping: Mapping,
+) -> dict[str, str | None]:
+    """Label the integrated tree by per-node majority vote, in place.
+
+    * each field takes its cluster's most frequent source label;
+    * each internal node takes the most frequent *potential* label (source
+      internal nodes whose leaves map inside the node's cluster set) — with
+      no coverage analysis, no Definition-6/7 consistency, no path
+      deduplication.
+
+    Returns ``{node name or cluster: label}`` for inspection.
+    """
+    assigned: dict[str, str | None] = {}
+
+    for leaf in integrated_root.leaves():
+        if leaf.cluster is None:
+            continue
+        labels: list[str] = []
+        if leaf.cluster in mapping:
+            for node in mapping[leaf.cluster].members.values():
+                if node.is_labeled:
+                    labels.append(node.label)
+        label = _majority(labels)
+        leaf.label = label
+        assigned[leaf.cluster] = label
+
+    source_nodes = collect_source_internal_nodes(interfaces)
+    for node in integrated_root.internal_nodes():
+        if node is integrated_root:
+            continue
+        target = node.descendant_leaf_clusters()
+        potentials = [
+            sn.label for sn in source_nodes if sn.leaf_clusters <= target
+        ]
+        label = _majority(potentials)
+        node.label = label
+        assigned[node.name] = label
+    return assigned

@@ -1,0 +1,125 @@
+"""Homonym conflict detection and repair (Section 4.2.3).
+
+"Two fields of a group may have the same name but different meanings."
+Before a naming solution is reported, pairs of clusters whose chosen labels
+are *similar* (equal or synonymous) are repaired by finding a source row
+that labels both clusters distinctly — "the assumption is that designers of
+source interfaces avoid these evident ambiguities" — and adopting its labels.
+
+Paper example: the tuple-solution (Position Options, Job Type, Type of Job,
+Company Name) has similar second and third entries; the row
+(X, Job Type, Employment Type, X) repairs it to
+(Position Options, Job Type, Employment Type, Company Name).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .group_relation import GroupRelation
+from .semantics import SemanticComparator
+from .solutions import GroupSolution
+
+__all__ = ["HomonymRepair", "find_homonym_pairs", "resolve_homonyms"]
+
+
+@dataclass(frozen=True)
+class HomonymRepair:
+    """Record of one applied repair (for diagnostics and the experiments)."""
+
+    cluster_a: str
+    cluster_b: str
+    old_label_a: str
+    old_label_b: str
+    new_label_a: str
+    new_label_b: str
+    source_interface: str
+
+
+def find_homonym_pairs(
+    labels: dict[str, str | None], comparator: SemanticComparator
+) -> list[tuple[str, str]]:
+    """Cluster pairs whose assigned labels are similar (the homonym smell)."""
+    named = [(c, l) for c, l in labels.items() if l is not None]
+    pairs = []
+    for i, (ca, la) in enumerate(named):
+        for cb, lb in named[i + 1 :]:
+            if comparator.similar(la, lb):
+                pairs.append((ca, cb))
+    return pairs
+
+
+def resolve_homonyms(
+    solution: GroupSolution,
+    relation: GroupRelation,
+    comparator: SemanticComparator,
+    max_rounds: int = 8,
+) -> list[HomonymRepair]:
+    """Repair homonym pairs in ``solution`` in place; return the repairs.
+
+    For each conflicting pair we look for a row with non-null entries in
+    both clusters where one entry is (equivalent to) one of the conflicting
+    labels and the other is not similar to it, then adopt the row's labels.
+    Unrepairable pairs (no such row) are left as-is — the survey simulation
+    will flag them, mirroring how residual ambiguity shows up in the paper's
+    human-acceptance numbers.
+    """
+    repairs: list[HomonymRepair] = []
+    for _ in range(max_rounds):
+        pairs = find_homonym_pairs(solution.labels, comparator)
+        pairs = [
+            p for p in pairs
+            if not any(r.cluster_a == p[0] and r.cluster_b == p[1] for r in repairs)
+        ]
+        if not pairs:
+            break
+        repaired_any = False
+        for cluster_a, cluster_b in pairs:
+            label_a = solution.labels[cluster_a]
+            label_b = solution.labels[cluster_b]
+            row = _find_repair_row(
+                relation, cluster_a, cluster_b, label_a, label_b, comparator
+            )
+            if row is None:
+                continue
+            new_a = row.label_for(cluster_a)
+            new_b = row.label_for(cluster_b)
+            solution.labels[cluster_a] = new_a
+            solution.labels[cluster_b] = new_b
+            repairs.append(
+                HomonymRepair(
+                    cluster_a=cluster_a,
+                    cluster_b=cluster_b,
+                    old_label_a=label_a,
+                    old_label_b=label_b,
+                    new_label_a=new_a,
+                    new_label_b=new_b,
+                    source_interface=row.interface,
+                )
+            )
+            repaired_any = True
+        if not repaired_any:
+            break
+    return repairs
+
+
+def _find_repair_row(
+    relation: GroupRelation,
+    cluster_a: str,
+    cluster_b: str,
+    label_a: str,
+    label_b: str,
+    comparator: SemanticComparator,
+):
+    """A row labeling both clusters where one side matches a conflicting
+    label and the two row entries are not themselves similar."""
+    for row in relation.tuples:
+        a = row.label_for(cluster_a)
+        b = row.label_for(cluster_b)
+        if a is None or b is None:
+            continue
+        if comparator.similar(a, b):
+            continue  # the row itself is ambiguous — no help
+        if comparator.similar(a, label_a) or comparator.similar(b, label_b):
+            return row
+    return None

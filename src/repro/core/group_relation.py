@@ -1,0 +1,147 @@
+"""Group relations — the (n+1)-ary relations of Section 4.1.
+
+"We organize the clusters of a group in a (n+1)-ary relation, where n is the
+number of clusters in the group and a component denoting the name of the
+interface.  A tuple in this relation denotes the labels a particular
+interface supplies for the clusters of the group."  Tables 2, 3 and 4 of the
+paper are instances.
+
+A :class:`GroupTuple` is one row (one interface's labels, with ``None`` for
+missing entries); a :class:`GroupRelation` is the set of rows for one group,
+built from the cluster mapping.  Tuples whose entries are all null are
+discarded (Section 4.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..schema.clusters import Mapping
+from ..schema.groups import Group
+
+__all__ = ["GroupTuple", "GroupRelation"]
+
+
+@dataclass(frozen=True)
+class GroupTuple:
+    """One row of a group relation: an interface's labels for the clusters."""
+
+    interface: str
+    labels: tuple[str | None, ...]
+    clusters: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.labels) != len(self.clusters):
+            raise ValueError("labels/clusters arity mismatch")
+
+    def label_for(self, cluster: str) -> str | None:
+        return self.labels[self.clusters.index(cluster)]
+
+    def non_null_clusters(self) -> frozenset[str]:
+        """The set of clusters this tuple supplies a label for — the second
+        role a partition-graph vertex plays (Section 4.1.1)."""
+        return frozenset(
+            cluster
+            for cluster, label in zip(self.clusters, self.labels)
+            if label is not None
+        )
+
+    def non_null_count(self) -> int:
+        return sum(1 for label in self.labels if label is not None)
+
+    def is_complete(self) -> bool:
+        return all(label is not None for label in self.labels)
+
+    def project(self, clusters: tuple[str, ...]) -> "GroupTuple":
+        """π_C projection onto a subset of clusters (Definition 2)."""
+        return GroupTuple(
+            interface=self.interface,
+            labels=tuple(self.label_for(c) for c in clusters),
+            clusters=clusters,
+        )
+
+    def key(self) -> tuple[str | None, ...]:
+        """Value identity (ignoring which interface supplied it)."""
+        return self.labels
+
+
+class GroupRelation:
+    """All rows supplied by the source interfaces for one group of clusters."""
+
+    def __init__(self, group: Group, tuples: list[GroupTuple]) -> None:
+        self.group = group
+        self.clusters: tuple[str, ...] = group.clusters
+        self.tuples: list[GroupTuple] = [
+            t for t in tuples if t.non_null_count() > 0
+        ]
+
+    # ------------------------------------------------------------------
+    # Construction from the mapping.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_mapping(cls, group: Group, mapping: Mapping) -> "GroupRelation":
+        """Build the relation of ``group`` from the cluster mapping.
+
+        An interface contributes a row when it has a *labeled* field in at
+        least one of the group's clusters.  An unlabeled field contributes a
+        null entry, just like an absent one — the relation is about labels.
+        """
+        interface_names: list[str] = []
+        seen: set[str] = set()
+        for cluster_name in group.clusters:
+            for interface_name in mapping[cluster_name].members:
+                if interface_name not in seen:
+                    seen.add(interface_name)
+                    interface_names.append(interface_name)
+
+        tuples = []
+        for interface_name in interface_names:
+            labels = tuple(
+                mapping[cluster_name].label_of(interface_name)
+                for cluster_name in group.clusters
+            )
+            tuples.append(
+                GroupTuple(
+                    interface=interface_name, labels=labels, clusters=group.clusters
+                )
+            )
+        return cls(group, tuples)
+
+    # ------------------------------------------------------------------
+    # Access.
+    # ------------------------------------------------------------------
+
+    def tuple_of(self, interface: str) -> GroupTuple | None:
+        """The row interface ``interface`` supplies, if any."""
+        return next((t for t in self.tuples if t.interface == interface), None)
+
+    def frequency_of(self, labels: tuple[str | None, ...]) -> int:
+        """How many interfaces supply exactly this row — the *frequency of
+        occurrence* criterion of Section 4.2.1 (only meaningful for
+        candidate solutions, i.e. rows present in the relation)."""
+        return sum(1 for t in self.tuples if t.key() == labels)
+
+    def complete_tuples(self) -> list[GroupTuple]:
+        return [t for t in self.tuples if t.is_complete()]
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self):
+        return iter(self.tuples)
+
+    def as_table(self) -> str:
+        """Plain-text rendering in the style of the paper's Tables 2-4."""
+        header = ["interface", *self.clusters]
+        rows = [
+            [t.interface, *("" if v is None else v for v in t.labels)]
+            for t in self.tuples
+        ]
+        widths = [
+            max(len(str(row[i])) for row in [header, *rows]) for i in range(len(header))
+        ]
+        lines = []
+        for row in [header, *rows]:
+            lines.append("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)

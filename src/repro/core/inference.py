@@ -1,0 +1,80 @@
+"""The logical inference rules LI1-LI7 as first-class, countable objects.
+
+The paper's Figure 10 reports, per rule, "the ratio of the total number of
+times the inference was used to produce candidate labels over the total
+number all inferences were used to produce candidate labels".  Every module
+that applies a rule records it on an :class:`InferenceLog`; the benchmark
+for Figure 10 reads the shares off the log.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["InferenceRule", "InferenceEvent", "InferenceLog"]
+
+
+class InferenceRule(str, Enum):
+    """The seven logical inferences of Sections 5 and 6.1."""
+
+    LI1 = "LI1"  # subset-of-leaves + hypernym label => in-domain equivalence
+    LI2 = "LI2"  # overlapping descendant leaves: union of same-label coverage
+    LI3 = "LI3"  # hypernym label absorbs the hyponym's coverage
+    LI4 = "LI4"  # hypernymy hierarchy root covers the union
+    LI5 = "LI5"  # extend meaning over a characterized (dependent) subset
+    LI6 = "LI6"  # domain containment bounds a generic label to a descriptive one
+    LI7 = "LI7"  # a label occurring as another field's instance is a value
+
+
+@dataclass(frozen=True)
+class InferenceEvent:
+    """One application of a rule while producing a candidate label."""
+
+    rule: InferenceRule
+    domain: str | None
+    node: str | None
+    label: str | None
+    detail: str = ""
+
+
+@dataclass
+class InferenceLog:
+    """Counts (and optionally full events) of inference-rule applications."""
+
+    events: list[InferenceEvent] = field(default_factory=list)
+    counts: Counter = field(default_factory=Counter)
+    keep_events: bool = True
+
+    def record(
+        self,
+        rule: InferenceRule,
+        *,
+        domain: str | None = None,
+        node: str | None = None,
+        label: str | None = None,
+        detail: str = "",
+    ) -> None:
+        self.counts[rule] += 1
+        if self.keep_events:
+            self.events.append(
+                InferenceEvent(rule=rule, domain=domain, node=node, label=label, detail=detail)
+            )
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def shares(self) -> dict[InferenceRule, float]:
+        """Figure 10: each rule's share of all rule applications."""
+        total = self.total()
+        if total == 0:
+            return {rule: 0.0 for rule in InferenceRule}
+        return {rule: self.counts.get(rule, 0) / total for rule in InferenceRule}
+
+    def merged_with(self, other: "InferenceLog") -> "InferenceLog":
+        merged = InferenceLog(keep_events=self.keep_events and other.keep_events)
+        merged.counts = self.counts + other.counts
+        if merged.keep_events:
+            merged.events = [*self.events, *other.events]
+        return merged

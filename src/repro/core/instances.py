@@ -1,0 +1,93 @@
+"""Instance-based inference rules LI6 and LI7 (Section 6.1).
+
+Fields of query interfaces may carry predefined domains (selection lists).
+Where they do, two delicate labeling decisions improve:
+
+* **LI6 — reconcile most-general vs. more-descriptive** (Section 6.1.1):
+  for labels ``l1`` hypernym of ``l2`` within one cluster, if
+  ``domain(l1) ⊆ domain(l2)`` then the generic ``l1`` is *bounded* to the
+  meaning of the descriptive ``l2`` in this domain — they are semantically
+  equivalent, and the descriptive one should be preferred (the Figure 9
+  example: *Class* vs *Flight Class* share a domain, so *Flight Class* wins).
+
+* **LI7 — discard labels that are values** (Section 6.1.2):
+  if field *e*'s label occurs among the instances of sibling field *f* in
+  the same cluster, *f*'s label is semantically at least as general as
+  *e*'s — *e*'s label (e.g. ``Hardcover``) is really a value of *f*
+  (``Format``) and must not be elected as the cluster label.
+"""
+
+from __future__ import annotations
+
+from ..schema.clusters import Cluster
+from .semantics import SemanticComparator
+
+__all__ = [
+    "domain_of_label",
+    "li6_semantically_equivalent",
+    "li7_value_labels",
+    "li7_at_least_as_general",
+]
+
+
+def _normalize_value(value: str) -> str:
+    return " ".join(value.lower().split())
+
+
+def domain_of_label(cluster: Cluster, label: str) -> frozenset[str]:
+    """``domain(l)``: union of instances of the cluster's fields labeled l."""
+    return frozenset(
+        _normalize_value(v) for v in cluster.instances_union(label)
+    )
+
+
+def li6_semantically_equivalent(
+    cluster: Cluster,
+    general_label: str,
+    specific_label: str,
+    comparator: SemanticComparator,
+) -> bool:
+    """LI6: ``general`` and ``specific`` are equivalent in this domain.
+
+    Requires ``general`` hypernym ``specific`` (Definition 1) and
+    ``domain(general) ⊆ domain(specific)`` with both domains non-empty.
+    """
+    if not comparator.hypernym(general_label, specific_label):
+        return False
+    dom_general = domain_of_label(cluster, general_label)
+    dom_specific = domain_of_label(cluster, specific_label)
+    if not dom_general or not dom_specific:
+        return False
+    return dom_general <= dom_specific
+
+
+def li7_value_labels(cluster: Cluster) -> dict[str, list[str]]:
+    """LI7 occurrences in ``cluster``: ``{general_label: [value_labels]}``.
+
+    A label is a *value label* when it appears (case-insensitively) among
+    the instances of another field of the same cluster.
+    """
+    findings: dict[str, list[str]] = {}
+    labels = cluster.labels()
+    for node in cluster.members.values():
+        if not node.instances or not node.is_labeled:
+            continue
+        instance_values = {_normalize_value(v) for v in node.instances}
+        for other_label in labels:
+            if other_label == node.label:
+                continue
+            if _normalize_value(other_label) in instance_values:
+                findings.setdefault(node.label, []).append(other_label)
+    return findings
+
+
+def li7_at_least_as_general(cluster: Cluster, label_f: str, label_e: str) -> bool:
+    """LI7 predicate: ``label_e`` occurs among the instances of a field of
+    the cluster labeled ``label_f``."""
+    target = _normalize_value(label_e)
+    for node in cluster.members.values():
+        if node.label != label_f or not node.instances:
+            continue
+        if target in {_normalize_value(v) for v in node.instances}:
+            return True
+    return False

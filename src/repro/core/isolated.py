@@ -1,0 +1,148 @@
+"""Labeling isolated clusters — the RAN variant of Section 4.4.
+
+An isolated cluster (C_int) is a lone leaf child of a non-root internal
+node; its label needs no correlation with surrounding fields, so the paper
+adapts the representative attribute name (RAN) algorithm of WISE [12]:
+
+1. build hypernymy hierarchies over the cluster's distinct labels using the
+   Definition-1 relations;
+2. the hierarchy roots are the most general labels; elect the **most
+   descriptive** root that appears in the most interfaces — the paper's
+   replacement for WISE's majority rule (Section 8: "with a modification by
+   replacing the majority rule by the most descriptive rule");
+3. instance knowledge refines the choice: value-labels are discarded first
+   (LI7), and a generic root whose domain is contained in a descriptive
+   hyponym's domain yields to that hyponym (LI6, the Figure 9 example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..schema.clusters import Cluster
+from .instances import li6_semantically_equivalent, li7_value_labels
+from .label import LabelAnalyzer
+from .semantics import SemanticComparator
+
+__all__ = ["HypernymyHierarchy", "build_hierarchies", "name_isolated_cluster"]
+
+
+@dataclass
+class HypernymyHierarchy:
+    """A hypernymy forest over a set of labels.
+
+    ``parents[l]`` holds the labels that are Definition-1 hypernyms of
+    ``l``; roots are labels with no hypernym among the set.
+    """
+
+    labels: list[str]
+    parents: dict[str, list[str]] = field(default_factory=dict)
+
+    @property
+    def roots(self) -> list[str]:
+        return [l for l in self.labels if not self.parents.get(l)]
+
+    def hyponyms_of(self, label: str) -> list[str]:
+        """Labels (transitively) below ``label`` in the hierarchy."""
+        below = []
+        frontier = [label]
+        while frontier:
+            current = frontier.pop()
+            for candidate in self.labels:
+                if candidate in below or candidate == label:
+                    continue
+                if current in self.parents.get(candidate, ()):
+                    below.append(candidate)
+                    frontier.append(candidate)
+        return below
+
+
+def build_hierarchies(
+    labels: list[str], comparator: SemanticComparator
+) -> HypernymyHierarchy:
+    """Hypernymy forest over ``labels`` via Definition 1 (Section 4.4)."""
+    distinct: list[str] = []
+    for label in labels:
+        if label not in distinct:
+            distinct.append(label)
+    hierarchy = HypernymyHierarchy(labels=distinct)
+    for child in distinct:
+        for parent in distinct:
+            if parent == child:
+                continue
+            if comparator.hypernym(parent, child):
+                hierarchy.parents.setdefault(child, []).append(parent)
+    return hierarchy
+
+
+@dataclass
+class IsolatedNamingOutcome:
+    """Chosen label plus the evidence trail (for diagnostics/experiments)."""
+
+    label: str | None
+    roots: list[str]
+    discarded_value_labels: list[str]
+    li6_replacements: list[tuple[str, str]]  # (generic root, descriptive pick)
+
+
+def name_isolated_cluster(
+    cluster: Cluster,
+    comparator: SemanticComparator,
+    analyzer: LabelAnalyzer | None = None,
+    use_instances: bool = True,
+) -> IsolatedNamingOutcome:
+    """Elect the label of an isolated cluster (Section 4.4 + LI6/LI7).
+
+    ``use_instances=False`` disables LI6/LI7 for the ablation experiments.
+    """
+    analyzer = analyzer or comparator.analyzer
+    labels = cluster.labels()
+    if not labels:
+        return IsolatedNamingOutcome(None, [], [], [])
+
+    discarded: list[str] = []
+    if use_instances:
+        # LI7: labels that are values of sibling fields never get elected.
+        value_findings = li7_value_labels(cluster)
+        value_labels = {v for values in value_findings.values() for v in values}
+        kept = [l for l in labels if l not in value_labels]
+        if kept:
+            discarded = [l for l in labels if l in value_labels]
+            labels = kept
+
+    hierarchy = build_hierarchies(labels, comparator)
+    roots = hierarchy.roots
+
+    def label_frequency(label: str) -> int:
+        return sum(
+            1 for node in cluster.members.values() if node.label == label
+        )
+
+    # LI6: a generic root bounded (by domain containment) to a descriptive
+    # hyponym yields to that hyponym.
+    replacements: list[tuple[str, str]] = []
+    elected_pool: list[str] = []
+    for root in roots:
+        choice = root
+        if use_instances:
+            hyponyms = hierarchy.hyponyms_of(root)
+            hyponyms.sort(
+                key=lambda l: (-analyzer.label(l).content_word_count, -label_frequency(l), l)
+            )
+            for hyponym in hyponyms:
+                if li6_semantically_equivalent(cluster, root, hyponym, comparator):
+                    choice = hyponym
+                    replacements.append((root, hyponym))
+                    break
+        elected_pool.append(choice)
+
+    # Most descriptive first; frequency in the cluster breaks ties.
+    elected_pool.sort(
+        key=lambda l: (-analyzer.label(l).content_word_count, -label_frequency(l), l)
+    )
+    return IsolatedNamingOutcome(
+        label=elected_pool[0] if elected_pool else None,
+        roots=roots,
+        discarded_value_labels=discarded,
+        li6_replacements=replacements,
+    )

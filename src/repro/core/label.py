@@ -1,0 +1,102 @@
+"""Labels as text + content-word sets — the unit the naming algorithm works on.
+
+Section 3.2: "it is preferable to treat labels in a more systematic manner,
+e.g. as n-dimensional vectors or set of tokens.  In the second normalization
+step each field will be represented by a set of content words of its label."
+
+A :class:`Label` bundles the raw text, the step-1 display form, and the
+step-2 content-word tokens.  Labels are produced (and cached) by a
+:class:`LabelAnalyzer`, which carries the lexicon used for base forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lexicon.normalize import Token, content_tokens, display_form
+from ..lexicon.wordnet import MiniWordNet
+
+__all__ = ["Label", "LabelAnalyzer"]
+
+_CONJUNCTION_MARKERS = ("&", "/")
+_CONJUNCTION_WORDS = frozenset({"and", "or"})
+
+
+@dataclass(frozen=True)
+class Label:
+    """An analyzed field/internal-node label.
+
+    ``raw``
+        the text as it appears on the interface;
+    ``display``
+        step-1 normalization (comments stripped, punctuation spaced);
+    ``tokens``
+        step-2 content words, in label order, deduplicated by stem;
+    ``stems``
+        the frozen set of token stems — the "set of content words"
+        representation of Definition 1.
+    """
+
+    raw: str
+    display: str
+    tokens: tuple[Token, ...]
+
+    @property
+    def stems(self) -> frozenset[str]:
+        return frozenset(token.stem for token in self.tokens)
+
+    @property
+    def content_word_count(self) -> int:
+        """The *expressiveness* contribution of this label (Section 4.2.1)."""
+        return len(self.tokens)
+
+    @property
+    def has_conjunction(self) -> bool:
+        """True when the label contains and/&, or//.
+
+        Definition 1 restricts the synonym/hypernym relations to labels
+        without conjunctions ("We assume A and B do not contain and (&),
+        or (/)").
+        """
+        lowered = self.raw.lower()
+        if any(marker in lowered for marker in _CONJUNCTION_MARKERS):
+            return True
+        return any(word in _CONJUNCTION_WORDS for word in lowered.split())
+
+    def __str__(self) -> str:
+        return self.raw
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Label({self.raw!r}, stems={sorted(self.stems)})"
+
+
+class LabelAnalyzer:
+    """Builds and caches :class:`Label` objects against one lexicon.
+
+    All Definition-1 comparisons in :mod:`repro.core.semantics` require both
+    labels to come from the same analyzer so token lemmas agree.
+    """
+
+    def __init__(self, wordnet: MiniWordNet | None = None) -> None:
+        if wordnet is None:
+            from ..lexicon.data import default_wordnet
+
+            wordnet = default_wordnet()
+        self.wordnet = wordnet
+        self._cache: dict[str, Label] = {}
+
+    def label(self, text: str) -> Label:
+        """Analyze ``text`` (cached)."""
+        cached = self._cache.get(text)
+        if cached is not None:
+            return cached
+        analyzed = Label(
+            raw=text,
+            display=display_form(text),
+            tokens=content_tokens(text, self.wordnet),
+        )
+        self._cache[text] = analyzed
+        return analyzed
+
+    def __call__(self, text: str) -> Label:
+        return self.label(text)

@@ -1,0 +1,105 @@
+"""Evaluation metrics of Section 7: LQ, FldAcc, IntAcc, LI involvement.
+
+* **LQ** (labeling quality) — per-interface percentage of labeled nodes,
+  averaged over a domain's source interfaces (Table 6, column 5).
+* **FldAcc** (fields consistency accuracy) — fields consistently labeled
+  over total fields; an unlabeled field is excused when it carries
+  instances ("if there are leaves without a label then they will have
+  instances associated with them").
+* **IntAcc** (internal nodes accuracy) — internal nodes with labels (at
+  least weakly consistent) over all internal nodes.
+* **LI involvement** — Figure 10's per-rule shares, read off the
+  :class:`InferenceLog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..schema.interface import QueryInterface
+from ..schema.tree import SchemaNode
+from .inference import InferenceRule
+from .result import LabelingResult
+
+__all__ = [
+    "IntegratedStats",
+    "labeling_quality",
+    "fields_consistency_accuracy",
+    "internal_nodes_accuracy",
+    "integrated_stats",
+    "inference_shares",
+]
+
+
+def labeling_quality(interfaces: list[QueryInterface]) -> float:
+    """Average per-interface fraction of labeled nodes (LQ)."""
+    if not interfaces:
+        return 1.0
+    return sum(qi.labeling_quality() for qi in interfaces) / len(interfaces)
+
+
+def fields_consistency_accuracy(result: LabelingResult) -> float:
+    """FldAcc over the integrated interface's fields.
+
+    A field counts as consistently labeled when the algorithm assigned it a
+    label, or when it is unlabeled but carries instances that make its
+    semantics inferable (the paper's Real-Estate Lease-Rate example shows
+    the remaining case counting against the metric).
+    """
+    leaves = [leaf for leaf in result.root.leaves() if leaf.cluster is not None]
+    if not leaves:
+        return 1.0
+    ok = 0
+    for leaf in leaves:
+        label = result.field_labels.get(leaf.cluster)
+        if label:
+            ok += 1
+        elif leaf.instances:
+            ok += 1
+    return ok / len(leaves)
+
+
+def internal_nodes_accuracy(result: LabelingResult) -> float:
+    """IntAcc: labeled internal nodes over all internal nodes (excl. root)."""
+    internal = result.internal_nodes()
+    if not internal:
+        return 1.0
+    labeled = sum(
+        1 for node in internal if result.node_labels.get(node.name)
+    )
+    return labeled / len(internal)
+
+
+@dataclass(frozen=True)
+class IntegratedStats:
+    """Table 6, columns 6-13 for one domain's integrated interface."""
+
+    leaves: int
+    groups: int
+    isolated_leaves: int
+    root_leaves: int
+    internal_nodes: int
+    depth: int
+
+    @classmethod
+    def of(cls, result: LabelingResult) -> "IntegratedStats":
+        root: SchemaNode = result.root
+        partition = result.partition
+        return cls(
+            leaves=len(root.leaves()),
+            groups=len(partition.regular),
+            isolated_leaves=len(partition.isolated),
+            root_leaves=len(partition.c_root()),
+            internal_nodes=len(result.internal_nodes()),
+            depth=root.height(),
+        )
+
+
+def integrated_stats(result: LabelingResult) -> IntegratedStats:
+    """Table 6's integrated-interface characteristics for one run."""
+    return IntegratedStats.of(result)
+
+
+def inference_shares(result: LabelingResult) -> dict[InferenceRule, float]:
+    """Figure 10's involvement shares for one labeling run."""
+    return result.inference_log.shares()

@@ -1,0 +1,88 @@
+"""Result objects of the naming pipeline: assignments, statuses, diagnostics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..schema.groups import GroupPartition
+from ..schema.tree import SchemaNode
+from .conflicts import HomonymRepair
+from .inference import InferenceLog
+from .isolated import IsolatedNamingOutcome
+from .solutions import GroupNamingResult, GroupSolution
+
+__all__ = ["NodeStatus", "TreeConsistency", "LabelingResult"]
+
+
+class NodeStatus(str, Enum):
+    """Per-internal-node outcome of the labeling (Definitions 7-8)."""
+
+    CONSISTENT = "consistent"
+    WEAKLY_CONSISTENT = "weakly_consistent"
+    UNLABELED_BLOCKED = "unlabeled_blocked"        # potentials existed, all unusable
+    UNLABELED_NO_POTENTIALS = "unlabeled_no_potentials"
+
+
+class TreeConsistency(str, Enum):
+    """Definition 8's three-way classification of the integrated tree."""
+
+    CONSISTENT = "consistent"
+    WEAKLY_CONSISTENT = "weakly_consistent"
+    INCONSISTENT = "inconsistent"
+
+
+@dataclass
+class LabelingResult:
+    """Everything the naming algorithm produced for one integrated tree.
+
+    Labels are also written onto the integrated tree's nodes in place, so
+    ``root.pretty()`` renders the labeled interface directly.
+    """
+
+    root: SchemaNode
+    partition: GroupPartition
+    group_results: dict[str, GroupNamingResult] = field(default_factory=dict)
+    chosen_solutions: dict[str, GroupSolution] = field(default_factory=dict)
+    isolated_outcomes: dict[str, IsolatedNamingOutcome] = field(default_factory=dict)
+    node_labels: dict[str, str | None] = field(default_factory=dict)
+    node_status: dict[str, NodeStatus] = field(default_factory=dict)
+    field_labels: dict[str, str | None] = field(default_factory=dict)  # by cluster
+    repairs: list[HomonymRepair] = field(default_factory=list)
+    inference_log: InferenceLog = field(default_factory=InferenceLog)
+    classification: TreeConsistency = TreeConsistency.INCONSISTENT
+
+    # ------------------------------------------------------------------
+    # Convenience accessors.
+    # ------------------------------------------------------------------
+
+    def label_of_cluster(self, cluster: str) -> str | None:
+        return self.field_labels.get(cluster)
+
+    def label_of_node(self, node_name: str) -> str | None:
+        return self.node_labels.get(node_name)
+
+    def internal_nodes(self) -> list[SchemaNode]:
+        return [
+            node
+            for node in self.root.internal_nodes()
+            if node is not self.root
+        ]
+
+    def unlabeled_fields(self) -> list[str]:
+        """Clusters whose field ended up without a label (the paper's
+        Real-Estate "No Label" case)."""
+        return [c for c, l in self.field_labels.items() if l is None]
+
+    def summary(self) -> str:
+        """Human-readable digest used by examples and the benches."""
+        lines = [
+            f"classification: {self.classification.value}",
+            f"fields labeled: "
+            f"{sum(1 for l in self.field_labels.values() if l)}/{len(self.field_labels)}",
+            f"internal nodes labeled: "
+            f"{sum(1 for l in self.node_labels.values() if l)}/{len(self.node_labels)}",
+            f"homonym repairs: {len(self.repairs)}",
+            f"inference applications: {self.inference_log.total()}",
+        ]
+        return "\n".join(lines)

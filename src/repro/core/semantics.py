@@ -1,0 +1,178 @@
+"""Definition 1 — the semantic relationships between two labels.
+
+Given labels A, B with content-word sets ``Acw = {a1..an}``, ``Bcw = {b1..bm}``:
+
+* **A string_equal B** — identical display forms (plain string comparison).
+* **A equal B** — ``Acw = Bcw`` (e.g. *Type of Job* equals *Job Type*).
+* **A synonym B** — n = m, every element of Acw and Bcw participates in at
+  least one equality-or-synonymy relationship with the other side, and at
+  least one of those relationships is WordNet synonymy (e.g. *Area of Study*
+  synonym *Field of Work*).
+* **A hypernym B** — n <= m and every ai is related (equality, synonymy or
+  WordNet hypernymy) to some bj, with n < m or at least one hypernymy
+  (e.g. *Class* hypernym *Class of Tickets*).
+* **A hyponym B** — B hypernym A.
+
+The synonym and hypernym relations are only defined for labels without
+conjunctions (and/&, or//), per the paper's closing note on Definition 1.
+
+All functions are methods of :class:`SemanticComparator` so the lexicon is
+fixed once; :func:`relation_between` reports the strongest relation, which
+Definition 2's consistency ladder and the LI rules build on.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from ..lexicon.normalize import Token
+from ..lexicon.wordnet import MiniWordNet
+from .label import Label, LabelAnalyzer
+
+__all__ = ["LabelRelation", "SemanticComparator"]
+
+
+class LabelRelation(IntEnum):
+    """Strength-ordered label relations (higher = stronger)."""
+
+    NONE = 0
+    HYPONYM = 1
+    HYPERNYM = 2
+    SYNONYM = 3
+    EQUAL = 4
+    STRING_EQUAL = 5
+
+
+class SemanticComparator:
+    """Definition-1 relations over labels, bound to one lexicon."""
+
+    def __init__(self, analyzer: LabelAnalyzer | None = None) -> None:
+        self.analyzer = analyzer or LabelAnalyzer()
+        self.wordnet: MiniWordNet = self.analyzer.wordnet
+
+    # ------------------------------------------------------------------
+    # Coercion.
+    # ------------------------------------------------------------------
+
+    def _as_label(self, label: str | Label) -> Label:
+        if isinstance(label, Label):
+            return label
+        return self.analyzer.label(label)
+
+    # ------------------------------------------------------------------
+    # Token-level relations.
+    # ------------------------------------------------------------------
+
+    def tokens_equal(self, a: Token, b: Token) -> bool:
+        """Content-word equality: identical stems (Preference ~ Preferred)."""
+        return a.stem == b.stem
+
+    def tokens_synonym(self, a: Token, b: Token) -> bool:
+        """WordNet synonymy between the tokens' base forms."""
+        return self.wordnet.are_synonyms(a.lemma, b.lemma)
+
+    def tokens_hypernym(self, a: Token, b: Token) -> bool:
+        """True when ``a`` is a WordNet hypernym of ``b``."""
+        return self.wordnet.is_hypernym(a.lemma, b.lemma)
+
+    def _tokens_related_for_hypernymy(self, a: Token, b: Token) -> tuple[bool, bool]:
+        """(related?, via-hypernymy?) for the hypernym definition."""
+        if self.tokens_equal(a, b) or self.tokens_synonym(a, b):
+            return True, False
+        if self.tokens_hypernym(a, b):
+            return True, True
+        return False, False
+
+    # ------------------------------------------------------------------
+    # Definition 1 relations.
+    # ------------------------------------------------------------------
+
+    def string_equal(self, a: str | Label, b: str | Label) -> bool:
+        la, lb = self._as_label(a), self._as_label(b)
+        return la.display.casefold() == lb.display.casefold()
+
+    def equal(self, a: str | Label, b: str | Label) -> bool:
+        la, lb = self._as_label(a), self._as_label(b)
+        return bool(la.stems) and la.stems == lb.stems
+
+    def synonym(self, a: str | Label, b: str | Label) -> bool:
+        la, lb = self._as_label(a), self._as_label(b)
+        if la.has_conjunction or lb.has_conjunction:
+            return False
+        n, m = len(la.tokens), len(lb.tokens)
+        if n == 0 or n != m:
+            return False
+        saw_synonymy = False
+        # Every element of Acw must relate to some element of Bcw ...
+        for a_tok in la.tokens:
+            related = False
+            for b_tok in lb.tokens:
+                if self.tokens_equal(a_tok, b_tok):
+                    related = True
+                elif self.tokens_synonym(a_tok, b_tok):
+                    related = True
+                    saw_synonymy = True
+            if not related:
+                return False
+        # ... and vice versa.
+        for b_tok in lb.tokens:
+            if not any(
+                self.tokens_equal(b_tok, a_tok) or self.tokens_synonym(b_tok, a_tok)
+                for a_tok in la.tokens
+            ):
+                return False
+        return saw_synonymy
+
+    def hypernym(self, a: str | Label, b: str | Label) -> bool:
+        """True when ``a`` is (strictly) more general than ``b`` by Def. 1."""
+        la, lb = self._as_label(a), self._as_label(b)
+        if la.has_conjunction or lb.has_conjunction:
+            return False
+        n, m = len(la.tokens), len(lb.tokens)
+        if n == 0 or n > m:
+            return False
+        saw_hypernymy = False
+        for a_tok in la.tokens:
+            related = False
+            for b_tok in lb.tokens:
+                rel, via_hyp = self._tokens_related_for_hypernymy(a_tok, b_tok)
+                if rel:
+                    related = True
+                    saw_hypernymy = saw_hypernymy or via_hyp
+            if not related:
+                return False
+        return n < m or saw_hypernymy
+
+    def hyponym(self, a: str | Label, b: str | Label) -> bool:
+        return self.hypernym(b, a)
+
+    # ------------------------------------------------------------------
+    # Aggregates.
+    # ------------------------------------------------------------------
+
+    def relation_between(self, a: str | Label, b: str | Label) -> LabelRelation:
+        """The strongest Definition-1 relation holding from ``a`` to ``b``."""
+        if self.string_equal(a, b):
+            return LabelRelation.STRING_EQUAL
+        if self.equal(a, b):
+            return LabelRelation.EQUAL
+        if self.synonym(a, b):
+            return LabelRelation.SYNONYM
+        if self.hypernym(a, b):
+            return LabelRelation.HYPERNYM
+        if self.hyponym(a, b):
+            return LabelRelation.HYPONYM
+        return LabelRelation.NONE
+
+    def similar(self, a: str | Label, b: str | Label) -> bool:
+        """Equality-or-synonymy — the "essentially the same label" test the
+        homonym check of Section 4.2.3 relies on."""
+        return (
+            self.string_equal(a, b)
+            or self.equal(a, b)
+            or self.synonym(a, b)
+        )
+
+    def at_least_as_general(self, a: str | Label, b: str | Label) -> bool:
+        """Lexical part of Definition 5(i): a hypernym-or-equivalent of b."""
+        return self.similar(a, b) or self.hypernym(a, b)

@@ -1,0 +1,26 @@
+"""Synthetic evaluation corpus: seven deep-web domains, seeded generation."""
+
+from .catalog import Concept, DomainSpec, GroupSpec, LabelVariant, SuperGroupSpec
+from .generator import DomainDataset, generate_domain
+from .registry import (
+    DOMAIN_TITLES,
+    DOMAINS,
+    domain_spec,
+    load_all_domains,
+    load_domain,
+)
+
+__all__ = [
+    "Concept",
+    "DOMAINS",
+    "DOMAIN_TITLES",
+    "DomainDataset",
+    "DomainSpec",
+    "GroupSpec",
+    "LabelVariant",
+    "SuperGroupSpec",
+    "domain_spec",
+    "generate_domain",
+    "load_all_domains",
+    "load_domain",
+]

@@ -1,0 +1,229 @@
+"""Auto domain catalog (20 interfaces; Table 6 row 2).
+
+Carries the paper's vertical-consistency running example (Table 5 and
+Figure 6): the Make/Model/Keyword group under *Car Information*, the
+From/To vs Min/Max year group under *Year Range*, and the Table 3 location
+group (State/City vs Zip Code/Distance) whose halves never co-occur on a
+single source, forcing a partially consistent solution.
+"""
+
+from __future__ import annotations
+
+from ..schema.tree import FieldKind
+from .catalog import Concept, DomainSpec, GroupSpec, SuperGroupSpec, variants
+
+__all__ = ["auto_spec"]
+
+_UNLABELED = 0.1
+
+
+def auto_spec() -> DomainSpec:
+    car_model = GroupSpec(
+        key="g_car_model",
+        concepts=(
+            Concept(
+                "c_make",
+                variants(("Make", "plain"), ("Brand", "alt"), ("Manufacturer", "wordy")),
+                prevalence=0.95,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=("Ford", "Toyota", "Honda", "BMW", "Any"),
+                instance_prob=0.6,
+            ),
+            Concept(
+                "c_model",
+                variants(("Model", "plain"), ("Model", "alt"), ("Car Model", "wordy")),
+                prevalence=0.9,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_keyword",
+                variants(("Keyword", "plain"), ("Keywords", "alt")),
+                prevalence=0.35,
+                unlabeled_prob=_UNLABELED,
+            ),
+        ),
+        group_labels=variants("Make/Model", "Car Model", "Vehicle"),
+        labeled_prob=0.5,
+        flatten_prob=0.3,
+    )
+
+    year = GroupSpec(
+        key="g_year",
+        concepts=(
+            Concept(
+                "c_year_from",
+                variants(("From", "fromto"), ("Min", "minmax"), ("Year", "year"),
+                         ("From Year", "wordy")),
+                prevalence=0.9,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_year_to",
+                variants(("To", "fromto"), ("Max", "minmax"), ("To Year", "year"),
+                         ("Through Year", "wordy")),
+                prevalence=0.85,
+                unlabeled_prob=_UNLABELED,
+            ),
+        ),
+        group_labels=variants("Year Range", "Year", "Model Year"),
+        labeled_prob=0.55,
+        flatten_prob=0.2,
+    )
+
+    price = GroupSpec(
+        key="g_price",
+        concepts=(
+            Concept(
+                "c_price_min",
+                variants(("Minimum", "minmax"), ("Min Price", "price"),
+                         ("From", "fromto"), ("Lowest Price", "wordy")),
+                prevalence=0.85,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_price_max",
+                variants(("Maximum", "minmax"), ("Max Price", "price"),
+                         ("To", "fromto"), ("Highest Price", "wordy")),
+                prevalence=0.9,
+                unlabeled_prob=_UNLABELED,
+            ),
+        ),
+        group_labels=variants("Price Range", "Price", "Price $"),
+        labeled_prob=0.6,
+        flatten_prob=0.2,
+        prevalence=0.85,
+    )
+
+    # Table 3: State/City sources vs ZipCode/Distance sources are disjoint
+    # style populations — no row links the halves, so the integrated group
+    # only admits a partially consistent solution.
+    location = GroupSpec(
+        key="g_location",
+        concepts=(
+            Concept(
+                "c_state",
+                variants(("State", "statecity")),
+                prevalence=0.9,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=("IL", "NY", "CA", "TX"),
+                instance_prob=0.5,
+                styles=("statecity",),
+            ),
+            Concept(
+                "c_city",
+                variants(("City", "statecity")),
+                prevalence=0.9,
+                unlabeled_prob=_UNLABELED,
+                styles=("statecity",),
+            ),
+            Concept(
+                "c_zip",
+                variants(("Zip Code", "zipdist"), ("Your Zip", "zipdist2")),
+                prevalence=0.9,
+                unlabeled_prob=_UNLABELED,
+                styles=("zipdist", "zipdist2"),
+            ),
+            Concept(
+                "c_distance",
+                variants(("Distance", "zipdist"), ("Within", "zipdist2"),
+                         ("Search Within", "zipdist2")),
+                prevalence=0.85,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=("10 miles", "25 miles", "50 miles", "100 miles"),
+                instance_prob=0.6,
+                styles=("zipdist", "zipdist2"),
+            ),
+        ),
+        group_labels=variants("Location", "Zone", "Search Area"),
+        labeled_prob=0.45,
+        flatten_prob=0.3,
+    )
+
+    features = GroupSpec(
+        key="g_features",
+        concepts=(
+            Concept(
+                "c_mileage",
+                variants("Mileage", "Max Mileage", "Odometer"),
+                prevalence=0.5,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_transmission",
+                variants("Transmission", "Transmission Type"),
+                prevalence=0.4,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=("Automatic", "Manual", "Any"),
+                instance_prob=0.7,
+            ),
+            Concept(
+                "c_fuel",
+                variants("Fuel Type", "Fuel", "Gas Type"),
+                prevalence=0.3,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=("Gasoline", "Diesel", "Hybrid", "Electric"),
+                instance_prob=0.7,
+            ),
+            Concept(
+                "c_color",
+                variants("Color", "Exterior Color"),
+                prevalence=0.3,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_body_style",
+                variants("Body Style", "Body Type", "Style"),
+                prevalence=0.35,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=("Sedan", "SUV", "Truck", "Coupe", "Van"),
+                instance_prob=0.7,
+            ),
+        ),
+        group_labels=variants("Features", "Vehicle Options", "Car Features"),
+        labeled_prob=0.5,
+        flatten_prob=0.35,
+        prevalence=0.6,
+    )
+
+    car_information = SuperGroupSpec(
+        key="sg_car",
+        members=("g_car_model", "g_year"),
+        labels=variants("Car Information", "Vehicle Information", "Make/Model Year Range"),
+        labeled_prob=0.6,
+        nest_prob=0.35,
+    )
+
+    condition = Concept(
+        "c_condition",
+        variants("Condition", "New or Used"),
+        prevalence=0.6,
+        unlabeled_prob=_UNLABELED,
+        kind=FieldKind.RADIO_BUTTON,
+        instances=("New", "Used", "Certified Pre-Owned"),
+        instance_prob=0.8,
+    )
+    seller = Concept(
+        "c_seller_type",
+        variants("Seller", "Seller Type", "Dealer or Private"),
+        prevalence=0.35,
+        unlabeled_prob=_UNLABELED,
+        kind=FieldKind.SELECTION_LIST,
+        instances=("Dealer", "Private Seller", "Any"),
+        instance_prob=0.6,
+    )
+
+    return DomainSpec(
+        name="auto",
+        interface_count=20,
+        groups=(car_model, year, price, location, features),
+        supergroups=(car_information,),
+        root_concepts=(condition, seller),
+        field_prevalence_scale=0.55,
+        description="Used/new car search (100auto, Ads4autos, CarMarket, ...).",
+    )

@@ -1,0 +1,239 @@
+"""Book domain catalog (20 interfaces; Table 6 row 3).
+
+The best-labeled domain (LQ ~83%), mostly flat with many root-level fields.
+Hosts the paper's *labels-as-values* discussion (Section 6.1.2): sources
+occasionally label a field ``Hardcover`` — really a value of
+``Format``/``Binding`` — which LI7 must discard during isolated-cluster
+naming.  The Format cluster sits isolated under a details section (the one
+isolated leaf of Table 6's Book row).
+"""
+
+from __future__ import annotations
+
+from ..schema.tree import FieldKind
+from .catalog import Concept, DomainSpec, GroupSpec, SuperGroupSpec, variants
+
+__all__ = ["book_spec"]
+
+_UNLABELED = 0.08
+_FORMAT_VALUES = ("Hardcover", "Paperback", "Audio", "E-book")
+
+
+def book_spec() -> DomainSpec:
+    author_title = GroupSpec(
+        key="g_author_title",
+        concepts=(
+            Concept(
+                "c_author",
+                variants(("Author", "plain"), ("Writer", "alt"), ("Author Name", "wordy")),
+                prevalence=0.95,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_title",
+                variants(("Title", "plain"), ("Book Title", "wordy")),
+                prevalence=0.95,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_keyword",
+                variants(("Keyword", "plain"), ("Keywords", "alt")),
+                prevalence=0.55,
+                unlabeled_prob=_UNLABELED,
+            ),
+        ),
+        group_labels=variants("Search by", "Book Search", "Find a Book"),
+        labeled_prob=0.4,
+        flatten_prob=0.5,
+    )
+
+    publication = GroupSpec(
+        key="g_publication",
+        concepts=(
+            Concept(
+                "c_publisher",
+                variants("Publisher", "Publisher Name"),
+                prevalence=0.7,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_pub_year_from",
+                variants(("From", "fromto"), ("Published After", "wordy"),
+                         ("Min Year", "minmax")),
+                prevalence=0.6,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_pub_year_to",
+                variants(("To", "fromto"), ("Published Before", "wordy"),
+                         ("Max Year", "minmax")),
+                prevalence=0.6,
+                unlabeled_prob=_UNLABELED,
+            ),
+        ),
+        group_labels=variants("Publication", "Publication Year", "Published"),
+        labeled_prob=0.55,
+        flatten_prob=0.25,
+        prevalence=0.75,
+    )
+
+    price = GroupSpec(
+        key="g_price",
+        concepts=(
+            Concept(
+                "c_price_min",
+                variants(("Min Price", "minmax"), ("From", "fromto"),
+                         ("Price From", "wordy")),
+                prevalence=0.85,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_price_max",
+                variants(("Max Price", "minmax"), ("To", "fromto"),
+                         ("Price To", "wordy")),
+                prevalence=0.9,
+                unlabeled_prob=_UNLABELED,
+            ),
+        ),
+        group_labels=variants("Price Range", "Price", "Price $"),
+        labeled_prob=0.6,
+        prevalence=0.6,
+    )
+
+    reader_age = GroupSpec(
+        key="g_reader_age",
+        concepts=(
+            Concept(
+                "c_age_min",
+                variants(("Age From", "fromto"), ("Min Age", "minmax")),
+                prevalence=0.85,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=("0-2", "3-5", "6-8", "9-12", "Teen"),
+                instance_prob=0.6,
+            ),
+            Concept(
+                "c_age_max",
+                variants(("Age To", "fromto"), ("Max Age", "minmax")),
+                prevalence=0.85,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=("3-5", "6-8", "9-12", "Teen", "Adult"),
+                instance_prob=0.6,
+            ),
+        ),
+        group_labels=variants("Reader Age", "Age Range", "Audience Age"),
+        labeled_prob=0.55,
+        prevalence=0.55,
+    )
+
+    availability = GroupSpec(
+        key="g_availability",
+        concepts=(
+            Concept(
+                "c_availability",
+                variants("Availability", "In Stock"),
+                prevalence=0.7,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.CHECKBOX,
+            ),
+            Concept(
+                "c_shipping",
+                variants("Shipping", "Free Shipping", "Shipping Options"),
+                prevalence=0.6,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.CHECKBOX,
+            ),
+        ),
+        group_labels=variants("Availability Options", "Delivery"),
+        labeled_prob=0.5,
+        prevalence=0.4,
+    )
+
+    # The isolated Format cluster; "Hardcover" is the value-as-label trap.
+    book_format = GroupSpec(
+        key="g_format",
+        concepts=(
+            Concept(
+                "c_format",
+                variants(
+                    ("Format", None, 3.0),
+                    ("Binding", None, 2.0),
+                    ("Hardcover", None, 0.6),  # a value leaking into the labels
+                ),
+                prevalence=0.95,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=_FORMAT_VALUES,
+                instance_prob=0.8,
+            ),
+        ),
+        prevalence=0.6,
+    )
+
+    details = SuperGroupSpec(
+        key="sg_details",
+        members=("g_publication", "g_format"),
+        labels=variants("Book Details", "More Options", "Advanced Search"),
+        labeled_prob=0.5,
+        nest_prob=0.55,
+    )
+
+    roots = (
+        Concept(
+            "c_isbn",
+            variants("ISBN", "ISBN Number"),
+            prevalence=0.6,
+            unlabeled_prob=_UNLABELED,
+        ),
+        Concept(
+            "c_subject",
+            variants("Subject", "Topic", "Category"),
+            prevalence=0.65,
+            unlabeled_prob=_UNLABELED,
+            kind=FieldKind.SELECTION_LIST,
+            instances=("Fiction", "Science", "History", "Children"),
+            instance_prob=0.5,
+        ),
+        Concept(
+            "c_language",
+            variants("Language", "Book Language"),
+            prevalence=0.4,
+            unlabeled_prob=_UNLABELED,
+            kind=FieldKind.SELECTION_LIST,
+            instances=("English", "Korean", "French", "German"),
+            instance_prob=0.6,
+        ),
+        Concept(
+            "c_edition",
+            variants("Edition", "Edition Number"),
+            prevalence=0.3,
+            unlabeled_prob=_UNLABELED,
+        ),
+        Concept(
+            "c_condition",
+            variants("Condition", "New or Used"),
+            prevalence=0.45,
+            unlabeled_prob=_UNLABELED,
+            kind=FieldKind.RADIO_BUTTON,
+            instances=("New", "Used", "Any"),
+            instance_prob=0.7,
+        ),
+        Concept(
+            "c_signed",
+            variants("Signed", "Signed Copy", "Signed by Author"),
+            prevalence=0.2,
+            unlabeled_prob=_UNLABELED,
+            kind=FieldKind.CHECKBOX,
+        ),
+    )
+
+    return DomainSpec(
+        name="book",
+        interface_count=20,
+        groups=(author_title, publication, price, reader_age, availability, book_format),
+        supergroups=(details,),
+        root_concepts=roots,
+        description="Book search interfaces; flat, well-labeled sources.",
+        field_prevalence_scale=0.6,
+    )

@@ -1,0 +1,354 @@
+"""Car Rental domain catalog (20 interfaces; Table 6 row 6).
+
+The widest integrated interface (34 leaves, 9 groups, 3 isolated) and the
+second-worst-labeled sources (LQ ~52.5%).  The paper reports this domain's
+integrated interface *inconsistent*: a node's candidate labels get promoted
+to its ancestors, leaving it unlabeled, and chain-specific membership codes
+(frequency-1 fields) confuse survey respondents.  The catalog plants both:
+the Pick-Up / Drop-Off super-groups whose sources reuse the same section
+labels at two depths, and a membership group of rare corporate-program
+fields.
+"""
+
+from __future__ import annotations
+
+from ..schema.tree import FieldKind
+from .catalog import Concept, DomainSpec, GroupSpec, SuperGroupSpec, variants
+
+__all__ = ["carrental_spec"]
+
+_UNLABELED = 0.45
+
+
+def _location_group(key: str, prefix: str, style_tag: str) -> GroupSpec:
+    return GroupSpec(
+        key=key,
+        concepts=(
+            Concept(
+                f"c_{style_tag}_city",
+                variants((f"{prefix} City", "wordy"), ("City", "terse")),
+                prevalence=0.85,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                f"c_{style_tag}_state",
+                variants((f"{prefix} State", "wordy"), ("State", "terse")),
+                prevalence=0.55,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                f"c_{style_tag}_airport",
+                variants((f"{prefix} Airport", "wordy"), ("Airport Code", "terse")),
+                prevalence=0.6,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                f"c_{style_tag}_country",
+                variants((f"{prefix} Country", "wordy"), ("Country", "terse")),
+                prevalence=0.35,
+                unlabeled_prob=_UNLABELED,
+            ),
+        ),
+        group_labels=variants(
+            f"{prefix} Location", f"{prefix} Place", "Location"
+        ),
+        labeled_prob=0.5,
+        flatten_prob=0.2,
+    )
+
+
+def _time_group(key: str, prefix: str, tag: str) -> GroupSpec:
+    return GroupSpec(
+        key=key,
+        concepts=(
+            Concept(
+                f"c_{tag}_date",
+                variants((f"{prefix} Date", "wordy"), ("Date", "terse")),
+                prevalence=0.95,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                f"c_{tag}_hour",
+                variants((f"{prefix} Time", "wordy"), ("Time", "terse")),
+                prevalence=0.75,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=("Morning", "Noon", "Evening"),
+                instance_prob=0.5,
+            ),
+        ),
+        group_labels=variants(f"{prefix} Date and Time", f"{prefix} Time"),
+        labeled_prob=0.7,
+        flatten_prob=0.25,
+    )
+
+
+def carrental_spec() -> DomainSpec:
+    pickup_location = _location_group("g_pickup_location", "Pick-up", "pickup")
+    dropoff_location = _location_group("g_dropoff_location", "Drop-off", "dropoff")
+    pickup_time = _time_group("g_pickup_time", "Pick-up", "pickup")
+    dropoff_time = _time_group("g_dropoff_time", "Drop-off", "dropoff")
+
+    car = GroupSpec(
+        key="g_car",
+        concepts=(
+            Concept(
+                "c_car_class",
+                variants(("Car Class", "car"), ("Car Type", "cartype"), ("Vehicle Class", "vehicle"), ("Class", "terse")),
+                prevalence=0.85,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=("Economy", "Compact", "Midsize", "Full-size", "SUV"),
+                instance_prob=0.75,
+            ),
+            Concept(
+                "c_car_make",
+                variants(("Make", "terse"), ("Make", "car"), ("Make", "cartype"), ("Brand", "vehicle")),
+                prevalence=0.45,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_car_model",
+                variants(("Model", "terse"), ("Model", "car"), ("Model", "cartype"), ("Model", "vehicle")),
+                prevalence=0.25,
+                unlabeled_prob=_UNLABELED,
+            ),
+        ),
+        group_labels=variants("Car Preferences", "Preferred Car"),
+        labeled_prob=0.5,
+        flatten_prob=0.3,
+    )
+
+    driver = GroupSpec(
+        key="g_driver",
+        concepts=(
+            Concept(
+                "c_driver_age",
+                variants(("Driver Age", "a"), ("Age of Driver", "b"), ("Driver's Age", "c")),
+                prevalence=0.7,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_driver_country",
+                variants(("Driver Country", "a"), ("Country of Residence", "b")),
+                prevalence=0.4,
+                unlabeled_prob=_UNLABELED,
+            ),
+        ),
+        group_labels=variants("Driver Information", "Driver"),
+        labeled_prob=0.5,
+        prevalence=0.55,
+    )
+
+    rates = GroupSpec(
+        key="g_rates",
+        concepts=(
+            # The synonymy-level shape: the minmax and price populations
+            # cover complementary subsets and only connect through WordNet
+            # synonymy (Max Rate ~ Maximum Price: max~maximum, rate~price).
+            Concept(
+                "c_rate_min",
+                variants(("Min Rate", "minmax")),
+                prevalence=0.9,
+                unlabeled_prob=0.15,
+                styles=("minmax",),
+            ),
+            Concept(
+                "c_rate_max",
+                variants(("Max Rate", "minmax"), ("Maximum Price", "price")),
+                prevalence=0.95,
+                unlabeled_prob=0.15,
+                styles=("minmax", "price"),
+            ),
+            Concept(
+                "c_currency",
+                variants(("Currency", "price"), ("Display Currency", "price")),
+                prevalence=0.85,
+                unlabeled_prob=0.15,
+                styles=("price",),
+                kind=FieldKind.SELECTION_LIST,
+                instances=("USD", "EUR", "GBP", "KRW"),
+                instance_prob=0.6,
+            ),
+        ),
+        group_labels=variants("Rate Range", "Rates", "Daily Rate"),
+        labeled_prob=0.7,
+        prevalence=0.8,
+    )
+
+    options = GroupSpec(
+        key="g_options",
+        concepts=(
+            Concept(
+                "c_transmission",
+                variants(("Transmission", "a"), ("Automatic or Manual", "b")),
+                prevalence=0.55,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.RADIO_BUTTON,
+                instances=("Automatic", "Manual"),
+                instance_prob=0.7,
+            ),
+            Concept(
+                "c_air_conditioning",
+                variants(("Air Conditioning", "a"), ("A/C", "b")),
+                prevalence=0.6,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.CHECKBOX,
+            ),
+            Concept(
+                "c_unlimited_mileage",
+                variants(("Unlimited Mileage", "a"), ("Mileage", "b")),
+                prevalence=0.6,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.CHECKBOX,
+            ),
+        ),
+        group_labels=variants("Options", "Vehicle Options", "Extras"),
+        labeled_prob=0.65,
+        flatten_prob=0.2,
+        prevalence=0.55,
+    )
+
+    # Chain-specific membership programs: frequency-1-ish fields that the
+    # survey flags as too specific for a generic interface.
+    membership = GroupSpec(
+        key="g_membership",
+        concepts=(
+            Concept(
+                "c_corporate_code",
+                variants(("Corporate Code", "a"), ("Corporate Discount", "b")),
+                prevalence=0.35,
+                unlabeled_prob=0.2,
+            ),
+            Concept(
+                "c_frequent_flyer",
+                variants(("Frequent Flyer Number", "a"), ("Frequent Flyer No", "b")),
+                prevalence=0.35,
+                unlabeled_prob=0.2,
+            ),
+            Concept(
+                "c_hertz_gold_no",
+                variants("Hertz Gold No"),
+                prevalence=0.06,
+                unlabeled_prob=0.0,
+            ),
+            Concept(
+                "c_avis_wizard_no",
+                variants("Avis Wizard Number"),
+                prevalence=0.06,
+                unlabeled_prob=0.0,
+            ),
+        ),
+        group_labels=variants("Membership", "Discount Programs", "Memberships"),
+        labeled_prob=0.65,
+        prevalence=0.5,
+    )
+
+    insurance = GroupSpec(
+        key="g_insurance",
+        concepts=(
+            Concept(
+                "c_insurance",
+                variants("Insurance", "Rental Insurance", "Coverage"),
+                prevalence=0.9,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.CHECKBOX,
+            ),
+        ),
+        prevalence=0.4,
+    )
+    child_seat = GroupSpec(
+        key="g_child_seat",
+        concepts=(
+            Concept(
+                "c_child_seat",
+                variants("Child Seat", "Baby Seat", "Infant Seat"),
+                prevalence=0.95,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.CHECKBOX,
+            ),
+        ),
+        prevalence=0.3,
+    )
+    navigation = GroupSpec(
+        key="g_navigation",
+        concepts=(
+            Concept(
+                "c_navigation",
+                variants("Navigation", "GPS", "Navigation System"),
+                prevalence=0.9,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.CHECKBOX,
+            ),
+        ),
+        prevalence=0.25,
+    )
+
+    pickup = SuperGroupSpec(
+        key="sg_pickup",
+        members=("g_pickup_location", "g_pickup_time"),
+        labels=variants("Pick Up", "Pick-up Information", "Picking Up"),
+        labeled_prob=0.55,
+        nest_prob=0.75,
+    )
+    dropoff = SuperGroupSpec(
+        key="sg_dropoff",
+        members=("g_dropoff_location", "g_dropoff_time"),
+        labels=variants("Drop Off", "Drop-off Information", "Returning"),
+        labeled_prob=0.55,
+        nest_prob=0.75,
+    )
+    vehicle = SuperGroupSpec(
+        key="sg_vehicle",
+        members=("g_car", "g_options", "g_insurance", "g_child_seat", "g_navigation"),
+        labels=variants("Vehicle Information", "Car and Options"),
+        labeled_prob=0.45,
+        nest_prob=0.5,
+    )
+
+    roots = (
+        Concept(
+            "c_coupon",
+            variants("Coupon Code", "Promotion Code"),
+            prevalence=0.3,
+            unlabeled_prob=_UNLABELED,
+        ),
+        Concept(
+            "c_rental_company",
+            variants("Rental Company", "Preferred Company", "Company"),
+            prevalence=0.4,
+            unlabeled_prob=_UNLABELED,
+            kind=FieldKind.SELECTION_LIST,
+            instances=("Hertz", "Avis", "Budget", "Any"),
+            instance_prob=0.6,
+        ),
+        Concept(
+            "c_email",
+            variants("Email", "Email Address"),
+            prevalence=0.4,
+            unlabeled_prob=_UNLABELED,
+        ),
+    )
+
+    return DomainSpec(
+        name="carrental",
+        interface_count=20,
+        groups=(
+            pickup_location,
+            dropoff_location,
+            pickup_time,
+            dropoff_time,
+            car,
+            driver,
+            rates,
+            options,
+            membership,
+            insurance,
+            child_seat,
+            navigation,
+        ),
+        supergroups=(pickup, dropoff, vehicle),
+        root_concepts=roots,
+        description="Car rental; widest integrated interface, noisiest labels.",
+        field_prevalence_scale=0.65,
+    )

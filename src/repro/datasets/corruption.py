@@ -1,0 +1,95 @@
+"""Mapping corruption — sensitivity of naming to matcher quality.
+
+The paper *assumes* a correct cluster mapping ("we assume the semantic
+relationships between the attributes ... have been already computed"), but
+real matchers ([10, 23, 24]) make mistakes.  This module injects the two
+canonical matcher error types into a ground-truth mapping so the
+sensitivity can be measured (``benchmarks/test_bench_ablation_mapping.py``):
+
+* **split errors** — a field is pulled out of its cluster into a fresh
+  singleton (the matcher failed to recognize the correspondence);
+* **merge errors** — two unrelated clusters are fused (the matcher
+  over-matched).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..schema.clusters import Cluster, Mapping
+
+__all__ = ["corrupt_mapping"]
+
+
+def corrupt_mapping(
+    mapping: Mapping,
+    split_rate: float = 0.0,
+    merge_rate: float = 0.0,
+    seed: int = 0,
+) -> Mapping:
+    """A corrupted copy of ``mapping``.
+
+    ``split_rate`` — fraction of (cluster, member) entries moved into fresh
+    singleton clusters; ``merge_rate`` — fraction of clusters fused with a
+    random other cluster.  Members colliding on an interface during a merge
+    stay in their original cluster (a mapping keeps at most one field per
+    interface per cluster).
+
+    The member nodes are shared with the source interfaces, and their
+    ``cluster`` attributes are re-pointed at the corrupted cluster names —
+    load a **fresh corpus per corruption level** rather than reusing one
+    dataset across levels.
+    """
+    rng = random.Random(seed)
+    corrupted = Mapping()
+    for cluster in mapping.clusters:
+        copy = Cluster(cluster.name)
+        for interface_name, node in cluster.members.items():
+            copy.members[interface_name] = node
+        corrupted.add_cluster(copy)
+
+    # Split errors.
+    if split_rate > 0:
+        entries = [
+            (cluster.name, interface_name)
+            for cluster in corrupted.clusters
+            for interface_name in cluster.members
+        ]
+        rng.shuffle(entries)
+        to_split = entries[: int(len(entries) * split_rate)]
+        for index, (cluster_name, interface_name) in enumerate(to_split):
+            cluster = corrupted[cluster_name]
+            if len(cluster.members) <= 1:
+                continue  # splitting a singleton is a no-op
+            node = cluster.members.pop(interface_name)
+            fresh = Cluster(f"{cluster_name}!split{index}")
+            fresh.members[interface_name] = node
+            corrupted.add_cluster(fresh)
+
+    # Merge errors.
+    if merge_rate > 0:
+        names = [c.name for c in corrupted.clusters if c.members]
+        rng.shuffle(names)
+        to_merge = names[: int(len(names) * merge_rate)]
+        for name in to_merge:
+            if name not in corrupted:
+                continue
+            others = [n for n in corrupted.cluster_names() if n != name]
+            if not others:
+                break
+            target_name = rng.choice(others)
+            source = corrupted[name]
+            target = corrupted[target_name]
+            for interface_name, node in list(source.members.items()):
+                if interface_name not in target.members:
+                    target.members[interface_name] = node
+                    del source.members[interface_name]
+            if not source.members:
+                corrupted._clusters.pop(name)  # fully absorbed
+
+    # Re-point leaf cluster attributes at the corrupted cluster names so the
+    # merge step sees a consistent view.
+    for cluster in corrupted.clusters:
+        for node in cluster.members.values():
+            node.cluster = cluster.name
+    return corrupted

@@ -1,0 +1,376 @@
+"""Hotels domain catalog (30 interfaces; Table 6 row 7).
+
+The largest source set.  Plants the paper's survey findings: chain-specific
+discount-program fields ("Wyndham ByRequest No") that are frequency-1 and
+too specific for a generic interface, and the check-in/check-out vs
+number-of-nights redundancy a respondent complained about.
+"""
+
+from __future__ import annotations
+
+from ..schema.tree import FieldKind
+from .catalog import Concept, DomainSpec, GroupSpec, SuperGroupSpec, variants
+
+__all__ = ["hotels_spec"]
+
+_UNLABELED = 0.27
+
+
+def hotels_spec() -> DomainSpec:
+    destination = GroupSpec(
+        key="g_destination",
+        concepts=(
+            Concept(
+                "c_city",
+                variants(("City", "plain"), ("Destination City", "wordy"),
+                         ("Where are you going?", "question")),
+                prevalence=0.95,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_state",
+                variants("State", ("State/Province", "rare", 0.3)),
+                prevalence=0.6,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_country",
+                variants("Country", ("Country/Region", "rare", 0.3)),
+                prevalence=0.5,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=("USA", "Korea", "UK", "France"),
+                instance_prob=0.5,
+            ),
+        ),
+        group_labels=variants("Destination", "Where to?", "Location"),
+        labeled_prob=0.55,
+        flatten_prob=0.2,
+    )
+
+    dates = GroupSpec(
+        key="g_dates",
+        concepts=(
+            Concept(
+                "c_checkin",
+                variants(("Check-in", "plain"), ("Check-in Date", "wordy"),
+                         ("Arrival Date", "alt")),
+                prevalence=0.95,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_checkout",
+                variants(("Check-out", "plain"), ("Check-out Date", "wordy"),
+                         ("Departure Date", "alt")),
+                prevalence=0.9,
+                unlabeled_prob=_UNLABELED,
+            ),
+            # Redundant with the dates — the survey comment in Section 7.
+            Concept(
+                "c_nights",
+                variants(("Nights", "plain"), ("Number of Nights", "wordy")),
+                prevalence=0.4,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=("1", "2", "3", "4", "5+"),
+                instance_prob=0.6,
+            ),
+        ),
+        group_labels=variants("Dates of Stay", "When?", "Stay Dates"),
+        labeled_prob=0.5,
+        flatten_prob=0.2,
+    )
+
+    occupancy = GroupSpec(
+        key="g_occupancy",
+        concepts=(
+            Concept(
+                "c_adults",
+                variants(("Adults", "plural"), ("Adult", "singular"),
+                         ("Number of Adults", "wordy")),
+                prevalence=0.9,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=("1", "2", "3", "4"),
+                instance_prob=0.55,
+            ),
+            Concept(
+                "c_children",
+                variants(("Children", "plural"), ("Child", "singular"),
+                         ("Number of Children", "wordy")),
+                prevalence=0.8,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=("0", "1", "2", "3"),
+                instance_prob=0.55,
+            ),
+            Concept(
+                "c_rooms",
+                variants(("Rooms", "plural"), ("Room", "singular"),
+                         ("Number of Rooms", "wordy")),
+                prevalence=0.8,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=("1", "2", "3", "4+"),
+                instance_prob=0.55,
+            ),
+        ),
+        group_labels=variants("Guests and Rooms", "How many?", "Occupancy"),
+        labeled_prob=0.55,
+        flatten_prob=0.2,
+        collapse_label="Guests",
+        collapse_prob=0.08,
+        collapse_instances=("1", "2", "3", "4", "5+"),
+    )
+
+    price = GroupSpec(
+        key="g_price",
+        concepts=(
+            Concept(
+                "c_price_min",
+                variants(("Min Price", "minmax"), ("Price From", "fromto"),
+                         ("Min Rate", "rate")),
+                prevalence=0.85,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_price_max",
+                variants(("Max Price", "minmax"), ("Price To", "fromto"),
+                         ("Max Rate", "rate")),
+                prevalence=0.85,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_currency",
+                variants("Currency", "Show Prices In"),
+                prevalence=0.55,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=("USD", "EUR", "KRW", "GBP"),
+                instance_prob=0.6,
+            ),
+        ),
+        group_labels=variants("Price Range", "Nightly Rate", "Budget"),
+        labeled_prob=0.8,
+        prevalence=0.75,
+    )
+
+    quality = GroupSpec(
+        key="g_quality",
+        concepts=(
+            Concept(
+                "c_star_rating",
+                variants(("Star Rating", "rating"), ("Stars", "plain"), ("Hotel Class", "class")),
+                prevalence=0.8,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=("2 stars", "3 stars", "4 stars", "5 stars"),
+                instance_prob=0.7,
+            ),
+            Concept(
+                "c_guest_rating",
+                variants(("Guest Rating", "rating"), ("Review Score", "plain")),
+                prevalence=0.4,
+                unlabeled_prob=_UNLABELED,
+            ),
+        ),
+        group_labels=variants("Quality", "Hotel Class", "Rating"),
+        labeled_prob=0.5,
+        prevalence=0.5,
+    )
+
+    amenities = GroupSpec(
+        key="g_amenities",
+        concepts=(
+            Concept(
+                "c_pool",
+                variants(("Pool", "plain"), ("Swimming Pool", "wordy")),
+                prevalence=0.6,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.CHECKBOX,
+            ),
+            Concept(
+                "c_breakfast",
+                variants(("Breakfast", "plain"), ("Breakfast Included", "wordy"), ("Free Breakfast", "free")),
+                prevalence=0.6,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.CHECKBOX,
+            ),
+            Concept(
+                "c_parking",
+                variants(("Parking", "plain"), ("Free Parking", "free"), ("Parking", "wordy")),
+                prevalence=0.55,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.CHECKBOX,
+            ),
+            Concept(
+                "c_pets",
+                variants(("Pets Allowed", "wordy"), ("Pet Friendly", "free"), ("Pets", "plain")),
+                prevalence=0.5,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.CHECKBOX,
+            ),
+        ),
+        group_labels=variants("Amenities", "Hotel Amenities", "Facilities"),
+        labeled_prob=0.65,
+        flatten_prob=0.1,
+        prevalence=0.7,
+    )
+
+    hotel = GroupSpec(
+        key="g_hotel",
+        concepts=(
+            Concept(
+                "c_hotel_chain",
+                variants("Hotel Chain", "Chain", "Preferred Chain"),
+                prevalence=0.6,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=("Hilton", "Marriott", "Wyndham", "Any"),
+                instance_prob=0.6,
+            ),
+            Concept(
+                "c_hotel_name",
+                variants("Hotel Name", "Property Name"),
+                prevalence=0.55,
+                unlabeled_prob=_UNLABELED,
+            ),
+        ),
+        group_labels=variants("Hotel", "Property"),
+        labeled_prob=0.65,
+        prevalence=0.55,
+    )
+
+    # Chain-specific discount programs: the frequency-1 fields the survey
+    # found too specific ("Wyndham ByRequest No").
+    discounts = GroupSpec(
+        key="g_discounts",
+        concepts=(
+            Concept(
+                "c_aaa_rate",
+                variants(("AAA Rate", "rate"), ("AAA Discount", "disc")),
+                prevalence=0.3,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.CHECKBOX,
+            ),
+            Concept(
+                "c_senior_rate",
+                variants(("Senior Rate", "rate"), ("Senior Discount", "disc")),
+                prevalence=0.3,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.CHECKBOX,
+            ),
+            Concept(
+                "c_govt_rate",
+                variants(("Government Rate", "rate"), ("Government Discount", "disc")),
+                prevalence=0.2,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.CHECKBOX,
+            ),
+            Concept(
+                "c_wyndham_byrequest",
+                variants("Wyndham ByRequest No"),
+                prevalence=0.10,
+                unlabeled_prob=0.0,
+            ),
+        ),
+        group_labels=variants("Discounts", "Special Rates", "Rate Programs"),
+        labeled_prob=0.65,
+        prevalence=0.5,
+    )
+
+    smoking = GroupSpec(
+        key="g_smoking",
+        concepts=(
+            Concept(
+                "c_smoking",
+                variants("Smoking Preference", "Smoking"),
+                prevalence=0.9,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.RADIO_BUTTON,
+                instances=("Smoking", "Non-Smoking", "Either"),
+                instance_prob=0.6,
+            ),
+        ),
+        prevalence=0.35,
+    )
+    accessibility = GroupSpec(
+        key="g_accessibility",
+        concepts=(
+            Concept(
+                "c_accessible",
+                variants("Accessible Rooms", "Accessibility", "ADA Accessible"),
+                prevalence=0.9,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.CHECKBOX,
+            ),
+        ),
+        prevalence=0.25,
+    )
+    bed_type = GroupSpec(
+        key="g_bed_type",
+        concepts=(
+            Concept(
+                "c_bed_type",
+                variants("Bed Type", "Preferred Bed", "Bed"),
+                prevalence=0.9,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=("King", "Queen", "Double", "Twin"),
+                instance_prob=0.65,
+            ),
+        ),
+        prevalence=0.3,
+    )
+
+    stay = SuperGroupSpec(
+        key="sg_stay",
+        members=("g_destination", "g_dates", "g_occupancy"),
+        labels=variants("Your Stay", "Reservation Details", "Booking"),
+        labeled_prob=0.5,
+        nest_prob=0.6,
+    )
+    room_prefs = SuperGroupSpec(
+        key="sg_room",
+        members=("g_quality", "g_smoking", "g_bed_type", "g_accessibility"),
+        labels=variants("Room Preferences", "Room Options"),
+        labeled_prob=0.5,
+        nest_prob=0.5,
+    )
+
+    roots = (
+        Concept(
+            "c_promo_code",
+            variants("Promotion Code", "Promo Code"),
+            prevalence=0.3,
+            unlabeled_prob=_UNLABELED,
+        ),
+        Concept(
+            "c_email",
+            variants("Email", "Email Address"),
+            prevalence=0.3,
+            unlabeled_prob=_UNLABELED,
+        ),
+    )
+
+    return DomainSpec(
+        name="hotels",
+        interface_count=30,
+        groups=(
+            destination,
+            dates,
+            occupancy,
+            price,
+            quality,
+            amenities,
+            hotel,
+            discounts,
+            smoking,
+            accessibility,
+            bed_type,
+        ),
+        supergroups=(stay, room_prefs),
+        root_concepts=roots,
+        description="Hotel booking; largest source set, chain-specific noise.",
+        field_prevalence_scale=0.68,
+    )

@@ -1,0 +1,200 @@
+"""Job domain catalog (20 interfaces; Table 6 row 4).
+
+The flattest domain: almost everything sits directly under the root (15 of
+19 integrated leaves), so its naming is dominated by the *root pseudo-group*
+and partially consistent solutions.  Hosts two paper examples: the
+most-descriptive-vs-most-general choice for Job Category (Category /
+Job Category / Area of Work / Function, Section 3.2.1) and the homonym
+conflict between Job Category and Job Type (Sections 1 and 4.2.3) repaired
+via the Employment Type spelling.
+"""
+
+from __future__ import annotations
+
+from ..schema.tree import FieldKind
+from .catalog import Concept, DomainSpec, GroupSpec, variants
+
+__all__ = ["job_spec"]
+
+_UNLABELED = 0.1
+
+
+def job_spec() -> DomainSpec:
+    salary = GroupSpec(
+        key="g_salary",
+        concepts=(
+            Concept(
+                "c_salary_min",
+                variants(("Min Salary", "minmax"), ("Salary From", "fromto"),
+                         ("Minimum Salary", "wordy")),
+                prevalence=0.85,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_salary_max",
+                variants(("Max Salary", "minmax"), ("Salary To", "fromto"),
+                         ("Maximum Salary", "wordy")),
+                prevalence=0.85,
+                unlabeled_prob=_UNLABELED,
+            ),
+        ),
+        group_labels=variants("Salary Range", "Desired Salary", "Compensation"),
+        labeled_prob=0.6,
+        prevalence=0.7,
+    )
+
+    roots = (
+        Concept(
+            "c_keyword",
+            variants("Keyword", "Keywords", "Search Keywords"),
+            prevalence=0.8,
+            unlabeled_prob=_UNLABELED,
+        ),
+        Concept(
+            "c_job_title",
+            variants("Job Title", "Position Title", "Title"),
+            prevalence=0.55,
+            unlabeled_prob=_UNLABELED,
+        ),
+        # Section 3.2.1: Category and Function are too generic; the
+        # descriptive spellings should win.  The low-weight "Job Type"
+        # variant plants the homonym conflict with c_job_type.
+        Concept(
+            "c_job_category",
+            variants(
+                ("Job Category", None, 3.0),
+                ("Area of Work", None, 2.0),
+                ("Field of Work", None, 1.5),
+                ("Category", None, 1.2),
+                ("Function", None, 0.8),
+                ("Job Type", None, 0.4),
+            ),
+            prevalence=0.75,
+            unlabeled_prob=_UNLABELED,
+            kind=FieldKind.SELECTION_LIST,
+            instances=("Engineering", "Sales", "Education", "Healthcare"),
+            instance_prob=0.5,
+        ),
+        Concept(
+            "c_job_type",
+            variants(
+                ("Job Type", None, 3.0),
+                ("Type of Job", None, 1.5),
+                ("Employment Type", None, 2.0),
+                ("Job Preferences", None, 0.8),
+            ),
+            prevalence=0.7,
+            unlabeled_prob=_UNLABELED,
+            kind=FieldKind.SELECTION_LIST,
+            instances=("Full-Time", "Part-Time", "Contract", "Internship"),
+            instance_prob=0.7,
+        ),
+        Concept(
+            "c_state",
+            variants("State", "State/Province"),
+            prevalence=0.6,
+            unlabeled_prob=_UNLABELED,
+            kind=FieldKind.SELECTION_LIST,
+            instances=("IL", "NY", "CA", "TX"),
+            instance_prob=0.5,
+        ),
+        Concept(
+            "c_city",
+            variants("City", "City Name"),
+            prevalence=0.6,
+            unlabeled_prob=_UNLABELED,
+        ),
+        Concept(
+            "c_zip",
+            variants("Zip Code", "Zip", "Postal Code"),
+            prevalence=0.35,
+            unlabeled_prob=_UNLABELED,
+        ),
+        Concept(
+            "c_company",
+            variants("Company", "Company Name", "Employer"),
+            prevalence=0.45,
+            unlabeled_prob=_UNLABELED,
+        ),
+        Concept(
+            "c_industry",
+            variants("Industry", "Sector"),
+            prevalence=0.4,
+            unlabeled_prob=_UNLABELED,
+            kind=FieldKind.SELECTION_LIST,
+            instances=("Technology", "Finance", "Manufacturing", "Retail"),
+            instance_prob=0.5,
+        ),
+        Concept(
+            "c_experience",
+            variants("Experience", "Years of Experience", "Experience Level"),
+            prevalence=0.4,
+            unlabeled_prob=_UNLABELED,
+            kind=FieldKind.SELECTION_LIST,
+            instances=("Entry Level", "Mid Level", "Senior", "Executive"),
+            instance_prob=0.6,
+        ),
+        Concept(
+            "c_education",
+            variants("Education", "Education Level", "Degree"),
+            prevalence=0.35,
+            unlabeled_prob=_UNLABELED,
+            kind=FieldKind.SELECTION_LIST,
+            instances=("High School", "Bachelor", "Master", "Doctorate"),
+            instance_prob=0.6,
+        ),
+        Concept(
+            "c_posted_within",
+            variants("Posted Within", "Date Posted", "Posted"),
+            prevalence=0.4,
+            unlabeled_prob=_UNLABELED,
+            kind=FieldKind.SELECTION_LIST,
+            instances=("1 day", "7 days", "30 days", "Any time"),
+            instance_prob=0.7,
+        ),
+        Concept(
+            "c_distance",
+            variants("Distance", "Within", "Radius"),
+            prevalence=0.3,
+            unlabeled_prob=_UNLABELED,
+            kind=FieldKind.SELECTION_LIST,
+            instances=("5 miles", "10 miles", "25 miles", "50 miles"),
+            instance_prob=0.6,
+        ),
+        Concept(
+            "c_country",
+            variants("Country", "Country/Region"),
+            prevalence=0.25,
+            unlabeled_prob=_UNLABELED,
+        ),
+        Concept(
+            "c_work_status",
+            variants("Work Status", "Work Authorization"),
+            prevalence=0.2,
+            unlabeled_prob=_UNLABELED,
+            kind=FieldKind.CHECKBOX,
+        ),
+        Concept(
+            "c_relocate",
+            variants("Willing to Relocate", "Relocation"),
+            prevalence=0.15,
+            unlabeled_prob=_UNLABELED,
+            kind=FieldKind.CHECKBOX,
+        ),
+        Concept(
+            "c_agency",
+            variants("Agency", "Recruiter", "Staffing Agency"),
+            prevalence=0.15,
+            unlabeled_prob=_UNLABELED,
+            kind=FieldKind.CHECKBOX,
+        ),
+    )
+
+    return DomainSpec(
+        name="job",
+        interface_count=20,
+        groups=(salary,),
+        root_concepts=roots,
+        description="Job boards; flat interfaces, root-dominated naming.",
+        field_prevalence_scale=0.55,
+    )

@@ -1,0 +1,326 @@
+"""Real Estate domain catalog (20 interfaces; Table 6 row 5).
+
+Reproduces Figure 3's structure — the State/City Zone group, Minimum/Maximum
+price group, the isolated Garage cluster under Property Characteristics —
+and Figure 11's two documented blemishes: the Lease-Rate group whose left
+field is unlabeled on every source (the one FldAcc miss: 96.4%), and the
+Features node that ends only weakly consistent with Unit Range and Acreage.
+Also carries the LI1 example: sources with a ``Location`` node over
+State/County vs a ``Property Location`` node over State/County/City.
+"""
+
+from __future__ import annotations
+
+from ..schema.tree import FieldKind
+from .catalog import Concept, DomainSpec, GroupSpec, SuperGroupSpec, variants
+
+__all__ = ["realestate_spec"]
+
+_UNLABELED = 0.1
+
+
+def realestate_spec() -> DomainSpec:
+    location = GroupSpec(
+        key="g_location",
+        concepts=(
+            Concept(
+                "c_state",
+                variants(("State", "plain")),
+                prevalence=0.85,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=("IL", "NY", "CA", "FL"),
+                instance_prob=0.5,
+            ),
+            Concept(
+                "c_city",
+                variants(("City", "plain"), ("City or Town", "wordy")),
+                prevalence=0.85,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_county",
+                variants(("County", "plain")),
+                prevalence=0.4,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_zip",
+                variants(("Zip Code", "plain"), ("Zip", "terse")),
+                prevalence=0.55,
+                unlabeled_prob=_UNLABELED,
+            ),
+        ),
+        group_labels=variants("Location", "Property Location", "Zone", "Area"),
+        labeled_prob=0.55,
+        flatten_prob=0.25,
+    )
+
+    price = GroupSpec(
+        key="g_price",
+        concepts=(
+            Concept(
+                "c_price_min",
+                variants(("Minimum", "minmax"), ("Min Price", "price"),
+                         ("From", "fromto")),
+                prevalence=0.9,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_price_max",
+                variants(("Maximum", "minmax"), ("Max Price", "price"),
+                         ("To", "fromto")),
+                prevalence=0.9,
+                unlabeled_prob=_UNLABELED,
+            ),
+        ),
+        group_labels=variants("Price Range", "Price", "Asking Price"),
+        labeled_prob=0.6,
+        flatten_prob=0.15,
+    )
+
+    beds_baths = GroupSpec(
+        key="g_beds_baths",
+        concepts=(
+            Concept(
+                "c_bedrooms",
+                variants(("Bedrooms", "plural"), ("Beds", "terse"),
+                         ("Number of Bedrooms", "wordy")),
+                prevalence=0.9,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=("1+", "2+", "3+", "4+"),
+                instance_prob=0.6,
+            ),
+            Concept(
+                "c_bathrooms",
+                variants(("Bathrooms", "plural"), ("Baths", "terse"),
+                         ("Number of Bathrooms", "wordy")),
+                prevalence=0.85,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=("1+", "2+", "3+"),
+                instance_prob=0.6,
+            ),
+        ),
+        group_labels=variants("Property Characteristics", "Rooms", "Beds & Baths"),
+        labeled_prob=0.55,
+        flatten_prob=0.2,
+        prevalence=0.85,
+    )
+
+    sqft = GroupSpec(
+        key="g_sqft",
+        concepts=(
+            Concept(
+                "c_sqft_min",
+                variants(("Min Square Feet", "minmax"), ("Square Feet From", "fromto")),
+                prevalence=0.8,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_sqft_max",
+                variants(("Max Square Feet", "minmax"), ("Square Feet To", "fromto")),
+                prevalence=0.8,
+                unlabeled_prob=_UNLABELED,
+            ),
+        ),
+        group_labels=variants("Square Footage", "Size"),
+        labeled_prob=0.55,
+        prevalence=0.4,
+    )
+
+    year_built = GroupSpec(
+        key="g_year_built",
+        concepts=(
+            Concept(
+                "c_built_from",
+                variants(("Built After", "wordy"), ("Year From", "fromto"),
+                         ("Min Year Built", "minmax")),
+                prevalence=0.8,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_built_to",
+                variants(("Built Before", "wordy"), ("Year To", "fromto"),
+                         ("Max Year Built", "minmax")),
+                prevalence=0.8,
+                unlabeled_prob=_UNLABELED,
+            ),
+        ),
+        group_labels=variants("Year Built", "Construction Year"),
+        labeled_prob=0.55,
+        prevalence=0.35,
+    )
+
+    # Figure 11's blemish: the left Lease-Rate field is unlabeled on every
+    # source; only its sibling "To" ever carries a label.
+    lease = GroupSpec(
+        key="g_lease",
+        concepts=(
+            Concept(
+                "c_lease_from",
+                variants("From"),      # variant never used:
+                prevalence=0.85,
+                unlabeled_prob=1.0,    # unlabeled on every source interface
+            ),
+            Concept(
+                "c_lease_to",
+                variants(("To", "fromto"), ("Up To", "wordy")),
+                prevalence=0.9,
+                unlabeled_prob=_UNLABELED,
+            ),
+        ),
+        group_labels=variants("Lease Rate", "Monthly Rent"),
+        labeled_prob=0.65,
+        prevalence=0.3,
+    )
+
+    units = GroupSpec(
+        key="g_units",
+        concepts=(
+            Concept(
+                "c_units_min",
+                variants(("Min Units", "minmax"), ("Units From", "fromto")),
+                prevalence=0.8,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_units_max",
+                variants(("Max Units", "minmax"), ("Units To", "fromto")),
+                prevalence=0.8,
+                unlabeled_prob=_UNLABELED,
+            ),
+        ),
+        group_labels=variants("Unit Range", "Units"),
+        labeled_prob=0.5,
+        prevalence=0.25,
+    )
+
+    acreage = GroupSpec(
+        key="g_acreage",
+        concepts=(
+            Concept(
+                "c_acreage_min",
+                variants(("Min Acreage", "minmax"), ("Acres From", "fromto")),
+                prevalence=0.8,
+                unlabeled_prob=_UNLABELED,
+            ),
+            Concept(
+                "c_acreage_max",
+                variants(("Max Acreage", "minmax"), ("Acres To", "fromto")),
+                prevalence=0.8,
+                unlabeled_prob=_UNLABELED,
+            ),
+        ),
+        group_labels=variants("Acreage", "Lot Size"),
+        labeled_prob=0.5,
+        prevalence=0.25,
+    )
+
+    # The isolated Garage cluster (Figure 3's C_int example).
+    garage = GroupSpec(
+        key="g_garage",
+        concepts=(
+            Concept(
+                "c_garage",
+                variants(("Garage", None, 1.5), ("Garage Spaces", None, 1.5),
+                         "Parking"),
+                prevalence=0.95,
+                unlabeled_prob=_UNLABELED,
+                kind=FieldKind.SELECTION_LIST,
+                instances=("1+", "2+", "3+", "None"),
+                instance_prob=0.8,
+            ),
+        ),
+        prevalence=0.6,
+    )
+
+    features = SuperGroupSpec(
+        key="sg_features",
+        members=("g_beds_baths", "g_garage", "g_units", "g_acreage", "g_sqft"),
+        labels=variants("Features", "Property Characteristics", "Property Features"),
+        labeled_prob=0.55,
+        nest_prob=0.6,
+    )
+    availability = SuperGroupSpec(
+        key="sg_availability",
+        members=("g_lease", "g_year_built"),
+        labels=variants("Property Availability", "Availability"),
+        labeled_prob=0.45,
+        nest_prob=0.4,
+    )
+
+    roots = (
+        Concept(
+            "c_property_type",
+            variants("Property Type", "Type of Property", "Home Type"),
+            prevalence=0.75,
+            unlabeled_prob=_UNLABELED,
+            kind=FieldKind.SELECTION_LIST,
+            instances=("House", "Condo", "Townhouse", "Land"),
+            instance_prob=0.7,
+        ),
+        Concept(
+            "c_listing_type",
+            variants("Listing Type", "For Sale or Rent"),
+            prevalence=0.45,
+            unlabeled_prob=_UNLABELED,
+            kind=FieldKind.RADIO_BUTTON,
+            instances=("For Sale", "For Rent", "Foreclosure"),
+            instance_prob=0.7,
+        ),
+        Concept(
+            "c_keyword",
+            variants("Keyword", "Keywords"),
+            prevalence=0.3,
+            unlabeled_prob=_UNLABELED,
+        ),
+        Concept(
+            "c_mls",
+            variants("MLS Number", "MLS ID", "Listing Number"),
+            prevalence=0.3,
+            unlabeled_prob=_UNLABELED,
+        ),
+        Concept(
+            "c_open_house",
+            variants("Open House", "Open Houses Only"),
+            prevalence=0.2,
+            unlabeled_prob=_UNLABELED,
+            kind=FieldKind.CHECKBOX,
+        ),
+        Concept(
+            "c_new_construction",
+            variants("New Construction", "Newly Built"),
+            prevalence=0.2,
+            unlabeled_prob=_UNLABELED,
+            kind=FieldKind.CHECKBOX,
+        ),
+        Concept(
+            "c_foreclosure",
+            variants("Foreclosure", "Foreclosures Only"),
+            prevalence=0.15,
+            unlabeled_prob=_UNLABELED,
+            kind=FieldKind.CHECKBOX,
+        ),
+    )
+
+    return DomainSpec(
+        name="realestate",
+        interface_count=20,
+        groups=(
+            location,
+            price,
+            beds_baths,
+            sqft,
+            year_built,
+            lease,
+            units,
+            acreage,
+            garage,
+        ),
+        supergroups=(features, availability),
+        root_concepts=roots,
+        description="Property search; Figures 3 and 11 of the paper.",
+        field_prevalence_scale=0.55,
+    )

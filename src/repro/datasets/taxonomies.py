@@ -1,0 +1,269 @@
+"""Synthetic concept-hierarchy corpus — for the Section-9 extension study.
+
+The paper's conclusion proposes experimentally showing the naming framework
+"readily applicable to ... integrated concept hierarchies".  This module
+provides the corpus for that experiment: a master product taxonomy whose
+concepts and categories carry realistic name variants, plus a seeded
+sampler that derives per-store taxonomies (subset of categories, subset of
+concepts, one name variant each) with ground truth attached.
+
+:func:`evaluate_integration` then scores an integration result against the
+ground truth: pairwise precision/recall of the recovered concept clusters
+and the accuracy of the integrated category labels.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from ..extensions.hierarchy import ConceptHierarchy, IntegratedHierarchy
+from ..schema.interface import make_field, make_group
+from ..schema.tree import SchemaNode
+
+__all__ = [
+    "TaxonomySpec",
+    "ELECTRONICS",
+    "BOOKSTORE",
+    "generate_taxonomies",
+    "evaluate_integration",
+    "IntegrationScore",
+]
+
+
+@dataclass(frozen=True)
+class TaxonomySpec:
+    """A master taxonomy: ``{category_key: (category variants,
+    {concept_key: concept variants})}``."""
+
+    name: str
+    categories: dict
+
+    def concept_keys(self) -> list[str]:
+        return [
+            concept_key
+            for __, concepts in self.categories.values()
+            for concept_key in concepts
+        ]
+
+
+ELECTRONICS = TaxonomySpec(
+    name="electronics",
+    categories={
+        "computers": (
+            ("Computers", "Computer Equipment", "Computing"),
+            {
+                "laptops": ("Laptops", "Notebook Computers", "Notebooks"),
+                "desktops": ("Desktops", "Desktop Computers"),
+                "tablets": ("Tablets", "Tablet Computers"),
+                "monitors": ("Monitors", "Computer Monitors", "Displays"),
+            },
+        ),
+        "phones": (
+            ("Phones", "Mobile Phones", "Telephones"),
+            {
+                "smartphones": ("Smartphones", "Smart Phones"),
+                "cases": ("Phone Cases", "Cases"),
+                "chargers": ("Phone Chargers", "Chargers"),
+            },
+        ),
+        "cameras": (
+            ("Cameras", "Photography"),
+            {
+                "digital_cameras": ("Digital Cameras", "Cameras"),
+                "lenses": ("Camera Lenses", "Lenses"),
+                "tripods": ("Tripods", "Camera Tripods"),
+            },
+        ),
+        "audio": (
+            ("Audio", "Audio Equipment", "Sound"),
+            {
+                "headphones": ("Headphones", "Earphones"),
+                "speakers": ("Speakers", "Loudspeakers"),
+            },
+        ),
+    },
+)
+
+
+BOOKSTORE = TaxonomySpec(
+    name="bookstore",
+    categories={
+        "fiction": (
+            ("Fiction", "Fiction Books", "Novels"),
+            {
+                "mystery": ("Mystery", "Mysteries", "Crime Fiction"),
+                "scifi": ("Science Fiction", "Sci-Fi"),
+                "romance": ("Romance", "Romance Novels"),
+            },
+        ),
+        "nonfiction": (
+            ("Nonfiction", "Non-Fiction"),
+            {
+                "history": ("History", "History Books"),
+                "biography": ("Biography", "Biographies", "Memoirs"),
+                "science": ("Science", "Popular Science"),
+            },
+        ),
+        "children": (
+            ("Children", "Kids", "Children's Books"),
+            {
+                "picture_books": ("Picture Books", "Picture Book"),
+                "young_adult": ("Young Adult", "Teen Books"),
+            },
+        ),
+    },
+)
+
+
+def generate_taxonomies(
+    count: int,
+    seed: int = 0,
+    spec: TaxonomySpec = ELECTRONICS,
+    category_prevalence: float = 0.8,
+    concept_prevalence: float = 0.75,
+) -> tuple[list[ConceptHierarchy], dict[str, dict[str, str]]]:
+    """Sample ``count`` store taxonomies from ``spec``.
+
+    Returns ``(hierarchies, ground_truth)`` where
+    ``ground_truth[concept_key][store_name]`` is the label the store uses
+    for that concept — the reference the matcher's clusters are scored
+    against.
+    """
+    rng = random.Random((zlib.crc32(spec.name.encode()) & 0xFFFF) * 7919 + seed)
+    hierarchies: list[ConceptHierarchy] = []
+    ground_truth: dict[str, dict[str, str]] = {
+        key: {} for key in spec.concept_keys()
+    }
+
+    for index in range(count):
+        store = f"{spec.name}-store-{index:02d}"
+        sections = []
+        for category_key, (category_variants, concepts) in spec.categories.items():
+            if rng.random() >= category_prevalence:
+                continue
+            leaves = []
+            for concept_key, concept_variants in concepts.items():
+                if rng.random() >= concept_prevalence:
+                    continue
+                label = rng.choice(concept_variants)
+                ground_truth[concept_key][store] = label
+                leaves.append(
+                    make_field(label, name=f"{store}:{concept_key}")
+                )
+            if not leaves:
+                continue
+            sections.append(
+                make_group(
+                    rng.choice(category_variants),
+                    leaves,
+                    name=f"{store}:{category_key}",
+                )
+            )
+        if not sections:
+            continue
+        hierarchies.append(
+            ConceptHierarchy(store, SchemaNode(None, sections, name=f"{store}:root"))
+        )
+    return hierarchies, ground_truth
+
+
+@dataclass
+class IntegrationScore:
+    """Pairwise cluster quality + category-label accuracy."""
+
+    precision: float
+    recall: float
+    category_accuracy: float
+    concept_count: int
+    category_count: int
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def _pairs(members: list[tuple[str, str]]) -> set[frozenset]:
+    return {
+        frozenset({a, b})
+        for i, a in enumerate(members)
+        for b in members[i + 1 :]
+    }
+
+
+def evaluate_integration(
+    integrated: IntegratedHierarchy,
+    ground_truth: dict[str, dict[str, str]],
+    spec: TaxonomySpec = ELECTRONICS,
+) -> IntegrationScore:
+    """Score ``integrated`` against the generator's ground truth.
+
+    *Pairwise precision/recall*: over pairs of (store, concept-occurrence)
+    items — a pair is correct when both belong to the same master concept.
+    *Category accuracy*: an integrated category node is correct when its
+    label belongs to the variant pool of the single master category its
+    concepts came from (mixed-category nodes count as wrong).
+    """
+    # Ground truth: item -> master concept key.
+    item_truth: dict[tuple[str, str], str] = {}
+    for concept_key, per_store in ground_truth.items():
+        for store in per_store:
+            item_truth[(store, concept_key)] = concept_key
+
+    # Predicted clusters: mapping cluster -> items.
+    predicted_pairs: set[frozenset] = set()
+    for cluster in integrated.mapping.clusters:
+        members = []
+        for store, node in cluster.members.items():
+            concept_key = node.name.split(":")[-1]
+            members.append((store, concept_key))
+        predicted_pairs |= _pairs(members)
+
+    truth_clusters: dict[str, list[tuple[str, str]]] = {}
+    for item, concept_key in item_truth.items():
+        truth_clusters.setdefault(concept_key, []).append(item)
+    truth_pairs = set()
+    for members in truth_clusters.values():
+        truth_pairs |= _pairs(members)
+
+    true_positive = len(predicted_pairs & truth_pairs)
+    precision = true_positive / len(predicted_pairs) if predicted_pairs else 1.0
+    recall = true_positive / len(truth_pairs) if truth_pairs else 1.0
+
+    # Category labels.
+    concept_to_category: dict[str, str] = {}
+    category_pools: dict[str, set[str]] = {}
+    for category_key, (variants_, concepts) in spec.categories.items():
+        category_pools[category_key] = set(variants_)
+        for concept_key in concepts:
+            concept_to_category[concept_key] = category_key
+
+    correct = 0
+    total = 0
+    for node in integrated.root.internal_nodes():
+        if node is integrated.root:
+            continue
+        concept_keys = set()
+        for leaf in node.leaves():
+            if leaf.cluster is None:
+                continue
+            cluster = integrated.mapping[leaf.cluster]
+            for store, member in cluster.members.items():
+                concept_keys.add(member.name.split(":")[-1])
+        categories = {
+            concept_to_category[k] for k in concept_keys if k in concept_to_category
+        }
+        total += 1
+        if len(categories) == 1 and node.label in category_pools[categories.pop()]:
+            correct += 1
+
+    return IntegrationScore(
+        precision=precision,
+        recall=recall,
+        category_accuracy=correct / total if total else 1.0,
+        concept_count=len(integrated.mapping),
+        category_count=total,
+    )

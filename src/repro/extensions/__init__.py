@@ -1,0 +1,5 @@
+"""Extensions the paper proposes as future work (its Section 9)."""
+
+from .hierarchy import ConceptHierarchy, IntegratedHierarchy, integrate_hierarchies
+
+__all__ = ["ConceptHierarchy", "IntegratedHierarchy", "integrate_hierarchies"]

@@ -1,0 +1,118 @@
+"""Labeling integrated concept hierarchies — the paper's proposed extension.
+
+Section 9: "We aim to experimentally show that our framework is readily
+applicable to other areas of interest sensitive to labeling process, e.g.,
+integrated concept hierarchies or HTML forms."  This module carries out the
+concept-hierarchy half.
+
+A *concept hierarchy* (product taxonomy, subject classification, …) is an
+ordered tree where every node names a concept; integrating several
+hierarchies from different providers poses exactly the paper's problem:
+
+* equivalent leaf concepts carry heterogeneous names across providers
+  ("Laptops" / "Notebook Computers" / "Notebooks") — horizontal
+  consistency within the integrated categories;
+* inner category names must be at least as general as their content and
+  consistent with it ("Computers" over laptops/desktops/tablets) —
+  vertical consistency.
+
+The mapping is direct: leaf concepts play the fields, categories play the
+internal nodes, and the whole Section 4-6 machinery (group relations,
+Combine*, LI1-LI5) applies verbatim.  The only genuinely new piece is the
+matcher default: taxonomy leaves have no instances, so matching rests
+entirely on the Definition-1 label relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.pipeline import NamingOptions, label_integrated_interface
+from ..core.result import LabelingResult
+from ..core.semantics import SemanticComparator
+from ..matching import match_interfaces
+from ..merge import merge_interfaces
+from ..schema.clusters import Mapping
+from ..schema.interface import QueryInterface
+from ..schema.tree import SchemaNode
+
+__all__ = ["ConceptHierarchy", "IntegratedHierarchy", "integrate_hierarchies"]
+
+
+@dataclass
+class ConceptHierarchy:
+    """One provider's taxonomy: a fully labeled ordered tree."""
+
+    name: str
+    root: SchemaNode
+
+    def __post_init__(self) -> None:
+        self.root.validate()
+
+    def validate_labels(self) -> None:
+        """Taxonomies label every node below the root; enforce it."""
+        for node in self.root.walk():
+            if node is self.root:
+                continue
+            if not node.is_labeled:
+                raise ValueError(
+                    f"hierarchy {self.name!r}: node {node.name!r} is unlabeled "
+                    "(concept hierarchies name every concept)"
+                )
+
+    def as_interface(self) -> QueryInterface:
+        """The hierarchy viewed as a query interface (leaves = fields)."""
+        return QueryInterface(self.name, self.root, domain="hierarchy")
+
+    def concepts(self) -> list[str]:
+        """Leaf-concept labels, in order."""
+        return [leaf.label for leaf in self.root.leaves()]
+
+
+@dataclass
+class IntegratedHierarchy:
+    """The merged, labeled taxonomy plus the naming diagnostics."""
+
+    root: SchemaNode
+    labeling: LabelingResult
+    mapping: Mapping
+
+    def pretty(self) -> str:
+        return self.root.pretty()
+
+    @property
+    def classification(self) -> str:
+        return self.labeling.classification.value
+
+
+def integrate_hierarchies(
+    hierarchies: list[ConceptHierarchy],
+    mapping: Mapping | None = None,
+    comparator: SemanticComparator | None = None,
+    options: NamingOptions | None = None,
+) -> IntegratedHierarchy:
+    """Merge and label several concept hierarchies.
+
+    ``mapping`` — correspondences between equivalent leaf concepts; when
+    omitted it is recovered from the concept names with the Definition-1
+    matcher (taxonomy leaves are always labeled, so this works far better
+    than for sparse query interfaces).
+
+    Returns the labeled integrated taxonomy.  Instance-based rules (LI6 and
+    LI7) are disabled by default — taxonomy concepts carry no instances —
+    unless the caller passes explicit ``options``.
+    """
+    comparator = comparator or SemanticComparator()
+    for hierarchy in hierarchies:
+        hierarchy.validate_labels()
+    interfaces = [h.as_interface() for h in hierarchies]
+    if mapping is None:
+        mapping = match_interfaces(interfaces, comparator)
+    mapping.expand_one_to_many(interfaces)
+    root = merge_interfaces(interfaces, mapping)
+    if options is None:
+        options = NamingOptions(use_instances=False)
+    labeling = label_integrated_interface(
+        root, interfaces, mapping, comparator, options=options, domain="hierarchy"
+    )
+    return IntegratedHierarchy(root=root, labeling=labeling, mapping=mapping)

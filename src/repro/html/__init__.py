@@ -1,0 +1,12 @@
+"""HTML adapter: extract query interfaces from forms, render labeled trees."""
+
+from .parser import FormParseError, parse_form, parse_forms
+from .render import render_form, render_node
+
+__all__ = [
+    "FormParseError",
+    "parse_form",
+    "parse_forms",
+    "render_form",
+    "render_node",
+]

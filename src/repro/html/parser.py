@@ -1,0 +1,311 @@
+"""HTML form extraction — turning real search forms into schema trees.
+
+The larger system the paper belongs to (its Section 2) starts by
+identifying and extracting query interfaces from web pages ([11, 26]); the
+conclusion proposes applying the naming framework to HTML forms directly.
+This module provides that substrate: a best-effort parser from HTML to
+:class:`QueryInterface`, built on the standard library's ``html.parser``
+(no third-party dependencies, per the reproduction environment).
+
+Recognized structure
+--------------------
+* ``<form>`` — the interface root (the first form on the page by default);
+* ``<fieldset>`` with an optional ``<legend>`` — an internal (group) node
+  labeled by the legend, arbitrarily nested;
+* ``<input type=text|search|number>`` — a text-box field;
+* ``<input type=checkbox>`` / ``type=radio`` — checkbox/radio fields;
+  radio buttons sharing a ``name`` collapse into one field whose instances
+  are the option values/labels;
+* ``<select>`` — a selection-list field whose ``<option>`` texts become
+  the field's instances;
+* labels come from ``<label for=ID>``, from a ``<label>`` wrapping the
+  control, or — like real deep-web extractors — from the text immediately
+  preceding the control.
+
+This is deliberately a *best-effort* extractor (the paper's cited ones are
+full research systems); it handles the well-formed forms the rest of this
+library emits and typical hand-written search forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from html.parser import HTMLParser
+
+from ..schema.interface import FieldKind, QueryInterface
+from ..schema.tree import SchemaNode
+
+__all__ = ["parse_form", "parse_forms", "FormParseError"]
+
+_TEXT_KINDS = {"text", "search", "number", "email", "tel", "date", ""}
+
+
+class FormParseError(ValueError):
+    """Raised when the document contains no parsable form."""
+
+
+@dataclass
+class _PendingField:
+    """A form control collected during parsing, before label resolution."""
+
+    kind: FieldKind
+    name: str
+    control_id: str | None
+    preceding_text: str
+    wrapped_label: str | None = None
+    instances: list[str] = field(default_factory=list)
+
+
+@dataclass
+class _Section:
+    """A fieldset (or the form itself) being assembled."""
+
+    legend: str | None = None
+    children: list = field(default_factory=list)  # _Section | _PendingField
+    in_legend: bool = False
+
+
+class _FormHTMLParser(HTMLParser):
+    """Event-driven extraction of forms, fieldsets and controls."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.forms: list[_Section] = []
+        self._stack: list[_Section] = []
+        self._text_buffer: list[str] = []
+        self._current_select: _PendingField | None = None
+        self._in_option = False
+        self._option_text: list[str] = []
+        self._label_for: str | None = None
+        self._label_text: list[str] = []
+        self._labels_by_id: dict[str, str] = {}
+        self._open_label_field: _PendingField | None = None
+        self._radio_groups: dict[str, _PendingField] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+
+    def _flush_text(self) -> str:
+        text = " ".join("".join(self._text_buffer).split())
+        self._text_buffer = []
+        return text
+
+    def _fresh_name(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    @property
+    def _section(self) -> _Section | None:
+        return self._stack[-1] if self._stack else None
+
+    # ------------------------------------------------------------------
+
+    def handle_starttag(self, tag, attrs):
+        attrs = dict(attrs)
+        if tag == "form":
+            form = _Section()
+            self.forms.append(form)
+            self._stack = [form]
+            self._text_buffer = []
+        elif not self._stack:
+            return
+        elif tag == "fieldset":
+            section = _Section()
+            self._section.children.append(section)
+            self._stack.append(section)
+            self._text_buffer = []
+        elif tag == "legend":
+            self._section.in_legend = True
+            self._text_buffer = []
+        elif tag == "label":
+            self._label_for = attrs.get("for")
+            self._label_text = []
+        elif tag == "select":
+            pending = _PendingField(
+                kind=FieldKind.SELECTION_LIST,
+                name=attrs.get("name") or self._fresh_name("select"),
+                control_id=attrs.get("id"),
+                preceding_text=self._flush_text(),
+            )
+            self._attach_control(pending)
+            self._current_select = pending
+        elif tag == "option":
+            self._in_option = True
+            self._option_text = []
+        elif tag == "input":
+            self._handle_input(attrs)
+        elif tag == "textarea":
+            pending = _PendingField(
+                kind=FieldKind.TEXT_BOX,
+                name=attrs.get("name") or self._fresh_name("textarea"),
+                control_id=attrs.get("id"),
+                preceding_text=self._flush_text(),
+            )
+            self._attach_control(pending)
+
+    def _handle_input(self, attrs: dict) -> None:
+        input_type = (attrs.get("type") or "text").lower()
+        if input_type in ("submit", "reset", "button", "hidden", "image"):
+            return
+        name = attrs.get("name") or self._fresh_name("input")
+        if input_type == "radio":
+            group = self._radio_groups.get(name)
+            if group is not None:
+                if attrs.get("value"):
+                    group.instances.append(attrs["value"])
+                return
+            pending = _PendingField(
+                kind=FieldKind.RADIO_BUTTON,
+                name=name,
+                control_id=attrs.get("id"),
+                preceding_text=self._flush_text(),
+            )
+            if attrs.get("value"):
+                pending.instances.append(attrs["value"])
+            self._radio_groups[name] = pending
+            self._attach_control(pending)
+            return
+        kind = FieldKind.CHECKBOX if input_type == "checkbox" else FieldKind.TEXT_BOX
+        if input_type not in _TEXT_KINDS and input_type != "checkbox":
+            kind = FieldKind.TEXT_BOX
+        pending = _PendingField(
+            kind=kind,
+            name=name,
+            control_id=attrs.get("id"),
+            preceding_text=self._flush_text(),
+        )
+        self._attach_control(pending)
+
+    def _attach_control(self, pending: _PendingField) -> None:
+        if self._section is None:
+            return
+        self._section.children.append(pending)
+        if self._label_for is None and self._label_text is not None and self._open_label_field is None:
+            # Inside a wrapping <label>: remember the field so the label's
+            # text (collected so far plus what follows) can be attached.
+            if self._inside_label:
+                self._open_label_field = pending
+
+    # ------------------------------------------------------------------
+
+    _inside_label = False
+
+    def handle_endtag(self, tag):
+        if not self._stack:
+            return
+        if tag == "form":
+            self._stack = []
+        elif tag == "fieldset" and len(self._stack) > 1:
+            self._stack.pop()
+            self._text_buffer = []
+        elif tag == "legend":
+            if self._section is not None:
+                self._section.legend = self._flush_text() or None
+                self._section.in_legend = False
+        elif tag == "label":
+            text = " ".join("".join(self._label_text).split())
+            if self._label_for:
+                self._labels_by_id[self._label_for] = text
+            elif self._open_label_field is not None:
+                self._open_label_field.wrapped_label = text
+            self._label_for = None
+            self._label_text = []
+            self._open_label_field = None
+            self._inside_label = False
+        elif tag == "option":
+            if self._current_select is not None:
+                value = " ".join("".join(self._option_text).split())
+                if value:
+                    self._current_select.instances.append(value)
+            self._in_option = False
+        elif tag == "select":
+            self._current_select = None
+
+    def handle_startendtag(self, tag, attrs):
+        self.handle_starttag(tag, attrs)
+
+    def handle_data(self, data):
+        if not self._stack:
+            return
+        if self._in_option:
+            self._option_text.append(data)
+        elif self._label_for is not None or self._inside_label:
+            self._label_text.append(data)
+        else:
+            self._text_buffer.append(data)
+
+    # html.parser calls handle_starttag for <label> before data; track state.
+    def updatepos(self, i, j):  # pragma: no cover - positional bookkeeping
+        return super().updatepos(i, j)
+
+
+def _resolve_label(pending: _PendingField, labels_by_id: dict[str, str]) -> str | None:
+    if pending.control_id and pending.control_id in labels_by_id:
+        return labels_by_id[pending.control_id] or None
+    if pending.wrapped_label:
+        return pending.wrapped_label
+    return pending.preceding_text or None
+
+
+def _build_tree(
+    section: _Section,
+    labels_by_id: dict[str, str],
+    prefix: str,
+    counter: list,
+) -> SchemaNode:
+    children = []
+    for child in section.children:
+        if isinstance(child, _Section):
+            children.append(_build_tree(child, labels_by_id, prefix, counter))
+        else:
+            counter[0] += 1
+            children.append(
+                SchemaNode(
+                    _resolve_label(child, labels_by_id),
+                    kind=child.kind,
+                    instances=tuple(child.instances),
+                    name=f"{prefix}:{child.name}:{counter[0]}",
+                )
+            )
+    counter[0] += 1
+    return SchemaNode(
+        section.legend, children, name=f"{prefix}:section:{counter[0]}"
+    )
+
+
+def parse_forms(html: str, name_prefix: str = "form") -> list[QueryInterface]:
+    """All forms in ``html`` as :class:`QueryInterface` objects."""
+    parser = _FormHTMLParser()
+    # Track wrapping <label>text<input></label>: html.parser gives us tags
+    # in order, so flip the flag around label tags.
+    original_start = parser.handle_starttag
+
+    def patched_start(tag, attrs):
+        if tag == "label" and dict(attrs).get("for") is None:
+            parser._inside_label = True
+        original_start(tag, attrs)
+
+    parser.handle_starttag = patched_start
+    parser.feed(html)
+    parser.close()
+
+    interfaces = []
+    for index, form in enumerate(parser.forms):
+        counter = [0]
+        prefix = f"{name_prefix}-{index}"
+        root = _build_tree(form, parser._labels_by_id, prefix, counter)
+        root.label = None  # the form element itself carries no label
+        if not root.children:
+            continue  # a form with no usable controls
+        interfaces.append(QueryInterface(prefix, root))
+    return interfaces
+
+
+def parse_form(html: str, name: str = "form") -> QueryInterface:
+    """The first non-empty form in ``html`` (raises FormParseError if none)."""
+    interfaces = parse_forms(html, name_prefix=name)
+    if not interfaces:
+        raise FormParseError("document contains no form with fields")
+    interface = interfaces[0]
+    interface.name = name
+    return interface

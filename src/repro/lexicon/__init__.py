@@ -1,0 +1,33 @@
+"""Lexical substrate: Porter stemmer, MiniWordNet, label normalization.
+
+This package stands in for the external linguistic resources the paper uses
+(WordNet [9] and the Porter stemmer [19]); see DESIGN.md section 2 for the
+substitution rationale.
+"""
+
+from .data import build_default_wordnet, default_wordnet
+from .io import load_wordnet, save_wordnet_data, wordnet_from_dict
+from .morphology import base_form
+from .normalize import Token, content_tokens, display_form, tokenize
+from .porter import PorterStemmer, stem
+from .stopwords import STOP_WORDS, is_stop_word
+from .wordnet import MiniWordNet, Synset
+
+__all__ = [
+    "MiniWordNet",
+    "PorterStemmer",
+    "STOP_WORDS",
+    "Synset",
+    "Token",
+    "base_form",
+    "build_default_wordnet",
+    "content_tokens",
+    "default_wordnet",
+    "display_form",
+    "is_stop_word",
+    "load_wordnet",
+    "save_wordnet_data",
+    "stem",
+    "wordnet_from_dict",
+    "tokenize",
+]

@@ -1,0 +1,57 @@
+"""Loading and saving lexicon data — user-extensible vocabularies.
+
+The curated data in :mod:`repro.lexicon.data` covers the paper's seven
+evaluation domains.  Users applying the library to new domains (course
+search, medical forms, …) extend the lexicon with their own synonym sets
+and hypernym edges; this module gives that a durable JSON form:
+
+.. code-block:: json
+
+    {
+      "synsets": [["course", "class"], ["instructor", "teacher"]],
+      "hypernyms": [["person", "instructor"]]
+    }
+
+``load_wordnet(path, extend_default=True)`` merges a file on top of the
+built-in data; ``save_wordnet_data`` writes the built-in data out as a
+starting point to edit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .data import HYPERNYMS, SYNSETS, build_default_wordnet
+from .wordnet import MiniWordNet
+
+__all__ = ["load_wordnet", "save_wordnet_data", "wordnet_from_dict"]
+
+
+def wordnet_from_dict(data: dict, extend_default: bool = True) -> MiniWordNet:
+    """Build a lexicon from a ``{"synsets": ..., "hypernyms": ...}`` dict."""
+    synsets = data.get("synsets", [])
+    hypernyms = [tuple(pair) for pair in data.get("hypernyms", [])]
+    for pair in hypernyms:
+        if len(pair) != 2:
+            raise ValueError(f"hypernym entries are pairs, got {pair!r}")
+    wordnet = build_default_wordnet() if extend_default else MiniWordNet()
+    wordnet.load(synsets, hypernyms)
+    return wordnet
+
+
+def load_wordnet(path: str | Path, extend_default: bool = True) -> MiniWordNet:
+    """Read a lexicon JSON file (optionally merged over the built-in data)."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ValueError("lexicon file must contain a JSON object")
+    return wordnet_from_dict(data, extend_default=extend_default)
+
+
+def save_wordnet_data(path: str | Path) -> None:
+    """Write the built-in curated data as an editable JSON file."""
+    document = {
+        "synsets": [list(lemmas) for lemmas in SYNSETS],
+        "hypernyms": [list(pair) for pair in HYPERNYMS],
+    }
+    Path(path).write_text(json.dumps(document, indent=2))

@@ -1,0 +1,142 @@
+"""Base-form (lemma) recovery, modeled on WordNet's *morphy* procedure.
+
+Section 3.1 (step 4) of the paper retrieves "the base form of each token
+using WordNet".  WordNet does this with a small table of irregular forms
+(its ``.exc`` files) plus a list of detachment rules tried in order.  We
+reproduce that design: :data:`IRREGULAR_FORMS` plays the role of the
+exception files and :data:`_DETACHMENT_RULES` the rules of detachment.
+
+Unlike a stemmer, morphy only returns a *real word*: a candidate produced by
+a detachment rule is accepted only if the supplied vocabulary knows it (or no
+vocabulary check is requested).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Container
+
+__all__ = ["IRREGULAR_FORMS", "base_form"]
+
+#: Irregular inflected form -> base form (WordNet ``exc``-file analog).
+IRREGULAR_FORMS: dict[str, str] = {
+    # Irregular noun plurals.
+    "children": "child",
+    "people": "person",
+    "men": "man",
+    "women": "woman",
+    "feet": "foot",
+    "teeth": "tooth",
+    "mice": "mouse",
+    "geese": "goose",
+    "criteria": "criterion",
+    "data": "datum",
+    "media": "medium",
+    "indices": "index",
+    "matrices": "matrix",
+    "analyses": "analysis",
+    "axes": "axis",
+    "buses": "bus",
+    "addresses": "address",
+    "businesses": "business",
+    "classes": "class",
+    "prices": "price",
+    "services": "service",
+    "preferences": "preference",
+    "types": "type",
+    "salaries": "salary",
+    "cities": "city",
+    "countries": "country",
+    "companies": "company",
+    "categories": "category",
+    "industries": "industry",
+    "agencies": "agency",
+    "amenities": "amenity",
+    "facilities": "facility",
+    "properties": "property",
+    "stories": "story",
+    "bodies": "body",
+    # Irregular verb forms common in interface labels.
+    "went": "go",
+    "gone": "go",
+    "going": "go",
+    "chosen": "choose",
+    "chose": "choose",
+    "preferred": "prefer",
+    "left": "leave",
+    "leaving": "leave",
+    "departing": "depart",
+    "arriving": "arrive",
+    "returning": "return",
+    "travelling": "travel",
+    "traveling": "travel",
+    "built": "build",
+    "sold": "sell",
+    "bought": "buy",
+    "paid": "pay",
+    "made": "make",
+}
+
+#: (suffix, replacement) detachment rules, tried in order (WordNet's rules).
+_DETACHMENT_RULES: tuple[tuple[str, str], ...] = (
+    # Nouns.
+    ("ses", "s"),
+    ("xes", "x"),
+    ("zes", "z"),
+    ("ches", "ch"),
+    ("shes", "sh"),
+    ("ies", "y"),
+    ("s", ""),
+    # Verbs.
+    ("ies", "y"),
+    ("es", "e"),
+    ("es", ""),
+    ("ed", "e"),
+    ("ed", ""),
+    ("ing", "e"),
+    ("ing", ""),
+    # Adjectives.
+    ("er", ""),
+    ("est", ""),
+    ("er", "e"),
+    ("est", "e"),
+)
+
+
+def base_form(
+    token: str,
+    is_known: Callable[[str], bool] | Container[str] | None = None,
+) -> str:
+    """Return the base (dictionary) form of ``token``.
+
+    ``is_known`` — an optional vocabulary check: a callable or a container of
+    known words.  When given, a detachment-rule candidate is only accepted if
+    the vocabulary recognizes it, mirroring WordNet's morphy.  When omitted,
+    the first rule that applies wins (still useful for display purposes).
+
+    The irregular-form table is consulted first and bypasses the vocabulary
+    check, just as WordNet's exception files do.
+    """
+    word = token.lower()
+    if word in IRREGULAR_FORMS:
+        return IRREGULAR_FORMS[word]
+
+    if is_known is None:
+        known = None
+    elif callable(is_known):
+        known = is_known
+    else:
+        container = is_known
+        known = lambda w: w in container  # noqa: E731 - tiny adapter
+
+    if known is not None and known(word):
+        return word
+
+    for suffix, replacement in _DETACHMENT_RULES:
+        if not word.endswith(suffix) or len(word) <= len(suffix):
+            continue
+        candidate = word[: len(word) - len(suffix)] + replacement
+        if len(candidate) < 2:
+            continue
+        if known is None or known(candidate):
+            return candidate
+    return word

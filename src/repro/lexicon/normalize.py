@@ -1,0 +1,116 @@
+"""Label normalization — the two-step pre-processing of paper Section 3.1.
+
+Step 1 (*display normalization*, :func:`display_form`)
+    Remove attached comments — parenthesized or bracketed trailers such as
+    ``Adults (18-64)`` -> ``Adults`` — replace every non-alphanumeric
+    character with a space and collapse whitespace.  The result is what
+    plain string comparison (Definition 1, *string equal*) operates on.
+
+Step 2 (*content words*, :func:`content_tokens`)
+    Tokenize, lowercase, recover the WordNet base form of each token, stem
+    with Porter, and drop stop words.  The result is the set-of-content-words
+    representation, e.g. ``Area of Study`` -> ``{area, study}`` and
+    ``Do you have any preferences?`` -> ``{prefer}``.
+
+A :class:`Token` keeps all three granularities (surface, lemma, stem);
+token identity for set semantics is the *stem*, which is exactly what makes
+``Preference`` and ``Preferred`` the same content word (both stem to
+``prefer`` — the Table 4 example).
+
+Labels whose tokens are all stop words (``From``, ``To``, ``Within``) keep
+their tokens as content words: dropping them would make every such label
+vacuously *equal* to every other, which is clearly not what Definition 1
+intends for fields named ``From`` and ``To``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .porter import stem as porter_stem
+from .stopwords import STOP_WORDS
+from .wordnet import MiniWordNet
+
+__all__ = ["Token", "display_form", "tokenize", "content_tokens"]
+
+_COMMENT_RE = re.compile(r"\([^)]*\)|\[[^\]]*\]|\{[^}]*\}")
+_NON_ALNUM_RE = re.compile(r"[^0-9a-zA-Z]+")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One content word of a label at three granularities.
+
+    ``surface``
+        the lowercased token as it appears in the label;
+    ``lemma``
+        its base form (morphy against the lexicon vocabulary);
+    ``stem``
+        the Porter stem of the lemma — the identity used for set semantics.
+    """
+
+    surface: str
+    lemma: str
+    stem: str
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Token):
+            return NotImplemented
+        return self.stem == other.stem
+
+    def __hash__(self) -> int:
+        return hash(self.stem)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.surface!r}->{self.stem!r})"
+
+
+def display_form(label: str) -> str:
+    """Step-1 normalization: strip comments and non-alphanumerics.
+
+    >>> display_form("Adults (18-64)")
+    'Adults'
+    >>> display_form("Price $")
+    'Price'
+    """
+    without_comments = _COMMENT_RE.sub(" ", label)
+    spaced = _NON_ALNUM_RE.sub(" ", without_comments)
+    return " ".join(spaced.split())
+
+
+def tokenize(label: str) -> list[str]:
+    """Split the step-1 form of ``label`` into lowercase word tokens."""
+    return display_form(label).lower().split()
+
+
+def _make_token(word: str, wordnet: MiniWordNet | None) -> Token:
+    if wordnet is not None:
+        lemma = wordnet.lemma_base(word)
+    else:
+        from .morphology import base_form
+
+        lemma = base_form(word)
+    return Token(surface=word, lemma=lemma, stem=porter_stem(lemma))
+
+
+def content_tokens(label: str, wordnet: MiniWordNet | None = None) -> tuple[Token, ...]:
+    """Step-2 normalization: the content-word tokens of ``label``.
+
+    Returns the tokens in label order with duplicates (by stem) removed.
+    Falls back to the full token list when stop-word removal would leave
+    nothing (see module docstring).
+    """
+    words = tokenize(label)
+    content = [w for w in words if w not in STOP_WORDS]
+    if not content:
+        content = words
+    seen: set[str] = set()
+    result: list[Token] = []
+    for word in content:
+        token = _make_token(word, wordnet)
+        if token.stem in seen:
+            continue
+        seen.add(token.stem)
+        result.append(token)
+    return tuple(result)

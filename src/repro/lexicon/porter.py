@@ -1,0 +1,258 @@
+"""Porter stemming algorithm, implemented from the original 1980 paper.
+
+M.F. Porter, "An algorithm for suffix stripping", *Program* 14(3), 1980.
+The labeling paper (Section 3.1, step 3) stems every token of a label with
+"the standard Porter stemming algorithm [19]" before semantic comparison —
+e.g. ``Preference`` and ``Preferred`` both stem to ``prefer``, which is what
+makes *Preferred Airline* and *Airline Preference* equality-level consistent
+(Table 4 of the paper).
+
+This is a faithful from-scratch implementation (NLTK is unavailable in the
+reproduction environment).  The public entry point is :func:`stem`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["stem", "PorterStemmer"]
+
+_VOWELS = frozenset("aeiou")
+
+
+class PorterStemmer:
+    """Stateless implementation of the five Porter reduction steps.
+
+    The class exists so callers can subclass / monkeypatch individual steps in
+    experiments; everyday use goes through the module-level :func:`stem`.
+    """
+
+    # ------------------------------------------------------------------
+    # Measure and shape predicates on the *stem* part of a word.
+    # ------------------------------------------------------------------
+
+    def _is_consonant(self, word: str, i: int) -> bool:
+        """Return True if ``word[i]`` acts as a consonant (Porter's rules).
+
+        ``y`` is a consonant when at the start of the word or after a vowel.
+        """
+        ch = word[i]
+        if ch in _VOWELS:
+            return False
+        if ch == "y":
+            return i == 0 or not self._is_consonant(word, i - 1)
+        return True
+
+    def measure(self, stem_part: str) -> int:
+        """Porter's *m*: the number of VC sequences in ``stem_part``.
+
+        A word has the form ``[C](VC)^m[V]`` where C/V are maximal runs of
+        consonants/vowels.
+        """
+        m = 0
+        i = 0
+        n = len(stem_part)
+        # Skip initial consonant run.
+        while i < n and self._is_consonant(stem_part, i):
+            i += 1
+        while i < n:
+            # Vowel run.
+            while i < n and not self._is_consonant(stem_part, i):
+                i += 1
+            if i >= n:
+                break
+            # Consonant run -> one full VC sequence.
+            while i < n and self._is_consonant(stem_part, i):
+                i += 1
+            m += 1
+        return m
+
+    def _contains_vowel(self, stem_part: str) -> bool:
+        return any(not self._is_consonant(stem_part, i) for i in range(len(stem_part)))
+
+    def _ends_double_consonant(self, word: str) -> bool:
+        return (
+            len(word) >= 2
+            and word[-1] == word[-2]
+            and self._is_consonant(word, len(word) - 1)
+        )
+
+    def _ends_cvc(self, word: str) -> bool:
+        """*o* condition: stem ends consonant-vowel-consonant, last not w/x/y."""
+        if len(word) < 3:
+            return False
+        return (
+            self._is_consonant(word, len(word) - 3)
+            and not self._is_consonant(word, len(word) - 2)
+            and self._is_consonant(word, len(word) - 1)
+            and word[-1] not in "wxy"
+        )
+
+    # ------------------------------------------------------------------
+    # Rule application helper.
+    # ------------------------------------------------------------------
+
+    def _replace(self, word: str, suffix: str, replacement: str, m_min: int) -> str | None:
+        """If ``word`` ends with ``suffix`` and the stem measure is > m_min,
+        return the word with the suffix replaced; otherwise None (no match)
+        or the word unchanged wrapped as no-op is signalled by returning word.
+        """
+        if not word.endswith(suffix):
+            return None
+        stem_part = word[: len(word) - len(suffix)]
+        if self.measure(stem_part) > m_min:
+            return stem_part + replacement
+        return word  # suffix matched but condition failed: stop rule scanning
+
+    # ------------------------------------------------------------------
+    # The five steps.
+    # ------------------------------------------------------------------
+
+    def _step1a(self, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    def _step1b(self, word: str) -> str:
+        if word.endswith("eed"):
+            stem_part = word[:-3]
+            if self.measure(stem_part) > 0:
+                return word[:-1]
+            return word
+        matched = False
+        if word.endswith("ed"):
+            stem_part = word[:-2]
+            if self._contains_vowel(stem_part):
+                word = stem_part
+                matched = True
+        elif word.endswith("ing"):
+            stem_part = word[:-3]
+            if self._contains_vowel(stem_part):
+                word = stem_part
+                matched = True
+        if matched:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if self._ends_double_consonant(word) and word[-1] not in "lsz":
+                return word[:-1]
+            if self.measure(word) == 1 and self._ends_cvc(word):
+                return word + "e"
+        return word
+
+    def _step1c(self, word: str) -> str:
+        if word.endswith("y") and self._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_RULES = (
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    )
+
+    _STEP3_RULES = (
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    )
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    )
+
+    def _apply_rule_list(self, word: str, rules, m_min: int) -> str:
+        for suffix, replacement in rules:
+            result = self._replace(word, suffix, replacement, m_min)
+            if result is not None:
+                return result
+        return word
+
+    def _step2(self, word: str) -> str:
+        return self._apply_rule_list(word, self._STEP2_RULES, 0)
+
+    def _step3(self, word: str) -> str:
+        return self._apply_rule_list(word, self._STEP3_RULES, 0)
+
+    def _step4(self, word: str) -> str:
+        for suffix in self._STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem_part = word[: len(word) - len(suffix)]
+                if self.measure(stem_part) > 1:
+                    return stem_part
+                return word
+        if word.endswith("ion"):
+            stem_part = word[:-3]
+            if self.measure(stem_part) > 1 and stem_part and stem_part[-1] in "st":
+                return stem_part
+        return word
+
+    def _step5a(self, word: str) -> str:
+        if word.endswith("e"):
+            stem_part = word[:-1]
+            m = self.measure(stem_part)
+            if m > 1 or (m == 1 and not self._ends_cvc(stem_part)):
+                return stem_part
+        return word
+
+    def _step5b(self, word: str) -> str:
+        if (
+            self.measure(word) > 1
+            and self._ends_double_consonant(word)
+            and word.endswith("l")
+        ):
+            return word[:-1]
+        return word
+
+    # ------------------------------------------------------------------
+
+    def stem(self, word: str) -> str:
+        """Return the Porter stem of ``word`` (lowercased).
+
+        Words of length <= 2 are returned unchanged, per the original paper.
+        """
+        word = word.lower()
+        if len(word) <= 2:
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+
+_DEFAULT = PorterStemmer()
+
+
+def stem(word: str) -> str:
+    """Stem ``word`` with the shared default :class:`PorterStemmer`."""
+    return _DEFAULT.stem(word)

@@ -1,0 +1,32 @@
+"""English stop words used during label normalization (Section 3.1, step 4).
+
+The list is the classic English function-word inventory (articles,
+prepositions, pronouns, auxiliaries, question words) trimmed to what matters
+for query-interface labels.  Removing them turns e.g.
+``Do you have any preferences?`` into the content-word set ``{prefer}`` —
+the exact example the paper works through in Section 5.1.2.
+"""
+
+from __future__ import annotations
+
+__all__ = ["STOP_WORDS", "is_stop_word"]
+
+STOP_WORDS = frozenset(
+    """
+    a about above after again all am an and any are aren as at be because
+    been before being below between both but by could did do does doing down
+    during each few for from further had has have having he her here hers
+    herself him himself his how i if in into is it its itself just me more
+    most my myself no nor not of off on once only or other our ours ourselves
+    out over own please same she should so some such than that the their
+    theirs them themselves then there these they this those through to too
+    want wants many much need needs
+    under until up very was we were what when where which while who whom why
+    will with would you your yours yourself yourselves
+    """.split()
+)
+
+
+def is_stop_word(token: str) -> bool:
+    """Return True when the lowercased ``token`` is an English stop word."""
+    return token.lower() in STOP_WORDS

@@ -1,0 +1,12 @@
+"""Matcher substrate: field-level cluster recovery + domain clustering."""
+
+from .domains import DomainCluster, cluster_interfaces, interface_vocabulary
+from .matcher import fields_match, match_interfaces
+
+__all__ = [
+    "DomainCluster",
+    "cluster_interfaces",
+    "fields_match",
+    "interface_vocabulary",
+    "match_interfaces",
+]

@@ -1,0 +1,144 @@
+"""Clustering query interfaces into domains — the [18] substrate.
+
+Step one of the larger system (paper Section 2): interfaces extracted from
+the web are "clustered into different classes based on the type of products
+or services they offer (i.e., Airline, Job)".  The cited system [18]
+(Peng et al., WIDM 2004) clusters e-commerce search engines by the terms on
+their interfaces; this module reproduces that idea with the machinery
+already in the library:
+
+* each interface becomes a bag of content-word stems (labels + instance
+  values, normalized by :mod:`repro.lexicon.normalize`);
+* pairwise similarity is TF-IDF-weighted cosine over those stems;
+* greedy agglomerative clustering with average linkage groups interfaces
+  whose similarity exceeds a threshold.
+
+Intended use: feed a mixed pile of extracted interfaces, get back the
+per-domain piles the rest of the pipeline (matching → merge → naming)
+operates on.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from ..core.label import LabelAnalyzer
+from ..schema.interface import QueryInterface
+
+__all__ = ["DomainCluster", "interface_vocabulary", "cluster_interfaces"]
+
+
+@dataclass
+class DomainCluster:
+    """One recovered domain class: member interfaces + their shared terms."""
+
+    interfaces: list[QueryInterface]
+    centroid: dict[str, float]
+
+    def names(self) -> list[str]:
+        return [qi.name for qi in self.interfaces]
+
+    def top_terms(self, count: int = 5) -> list[str]:
+        """The most characteristic stems — a human-readable domain tag."""
+        ranked = sorted(self.centroid.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [stem for stem, __ in ranked[:count]]
+
+    def __len__(self) -> int:
+        return len(self.interfaces)
+
+
+def interface_vocabulary(
+    interface: QueryInterface, analyzer: LabelAnalyzer
+) -> Counter:
+    """Stem frequencies over every label and instance on the interface."""
+    counts: Counter = Counter()
+    for node in interface.root.walk():
+        if node.is_labeled:
+            for token in analyzer.label(node.label).tokens:
+                counts[token.stem] += 1
+        for value in node.instances:
+            for token in analyzer.label(value).tokens:
+                counts[token.stem] += 1
+    return counts
+
+
+def _tfidf_vectors(
+    vocabularies: list[Counter],
+) -> list[dict[str, float]]:
+    document_frequency: Counter = Counter()
+    for vocabulary in vocabularies:
+        document_frequency.update(set(vocabulary))
+    n = len(vocabularies)
+    vectors = []
+    for vocabulary in vocabularies:
+        vector = {}
+        for stem, tf in vocabulary.items():
+            idf = math.log((1 + n) / (1 + document_frequency[stem])) + 1.0
+            vector[stem] = tf * idf
+        norm = math.sqrt(sum(w * w for w in vector.values())) or 1.0
+        vectors.append({stem: w / norm for stem, w in vector.items()})
+    return vectors
+
+
+def _cosine(a: dict[str, float], b: dict[str, float]) -> float:
+    if len(b) < len(a):
+        a, b = b, a
+    return sum(weight * b.get(stem, 0.0) for stem, weight in a.items())
+
+
+def _average(vectors: list[dict[str, float]]) -> dict[str, float]:
+    merged: dict[str, float] = {}
+    for vector in vectors:
+        for stem, weight in vector.items():
+            merged[stem] = merged.get(stem, 0.0) + weight
+    n = len(vectors) or 1
+    return {stem: weight / n for stem, weight in merged.items()}
+
+
+def cluster_interfaces(
+    interfaces: list[QueryInterface],
+    analyzer: LabelAnalyzer | None = None,
+    threshold: float = 0.18,
+) -> list[DomainCluster]:
+    """Group ``interfaces`` into domain classes.
+
+    Greedy average-linkage agglomeration: each interface joins the existing
+    cluster whose centroid it is most similar to, provided the similarity
+    clears ``threshold``; otherwise it founds a new cluster.  Clusters are
+    returned largest first.
+    """
+    analyzer = analyzer or LabelAnalyzer()
+    vocabularies = [interface_vocabulary(qi, analyzer) for qi in interfaces]
+    vectors = _tfidf_vectors(vocabularies)
+
+    clusters: list[list[int]] = []
+    centroids: list[dict[str, float]] = []
+    for index, vector in enumerate(vectors):
+        best_cluster = None
+        best_similarity = threshold
+        for cluster_index, centroid in enumerate(centroids):
+            similarity = _cosine(vector, centroid)
+            if similarity >= best_similarity:
+                best_similarity = similarity
+                best_cluster = cluster_index
+        if best_cluster is None:
+            clusters.append([index])
+            centroids.append(dict(vector))
+        else:
+            clusters[best_cluster].append(index)
+            centroids[best_cluster] = _average(
+                [vectors[i] for i in clusters[best_cluster]]
+            )
+
+    result = [
+        DomainCluster(
+            interfaces=[interfaces[i] for i in members],
+            centroid=centroids[cluster_index],
+        )
+        for cluster_index, members in enumerate(clusters)
+        if members
+    ]
+    result.sort(key=lambda c: (-len(c), c.names()))
+    return result

@@ -1,0 +1,89 @@
+"""Label-based cluster recovery — a lightweight interface matcher.
+
+The paper *assumes* the cluster mapping as input (Section 2.1; computed by
+[10, 23, 24]).  The synthetic corpus ships ground-truth clusters, but for
+end-to-end runs on hand-written interfaces this module recovers a mapping
+from labels and instances alone: greedy agglomerative clustering where two
+fields match when their labels are related by Definition 1 (equality /
+synonymy / hypernymy) or their instance sets overlap substantially.
+
+This is intentionally simpler than the cited matchers — it is a substrate,
+not a contribution — but it produces the same *shape* of input: clusters of
+semantically equivalent fields, one field per interface after reduction.
+"""
+
+from __future__ import annotations
+
+from ..core.semantics import LabelRelation, SemanticComparator
+from ..schema.clusters import Mapping
+from ..schema.interface import QueryInterface
+from ..schema.tree import SchemaNode
+
+__all__ = ["match_interfaces", "fields_match"]
+
+_INSTANCE_OVERLAP_THRESHOLD = 0.5
+
+
+def fields_match(
+    a: SchemaNode, b: SchemaNode, comparator: SemanticComparator
+) -> bool:
+    """Two fields match on label relation or instance-set overlap."""
+    if a.is_labeled and b.is_labeled:
+        relation = comparator.relation_between(a.label, b.label)
+        if relation is not LabelRelation.NONE:
+            # Hypernym-related field labels ("Title" vs "Course Title")
+            # almost always denote the same concept at different verbosity.
+            return True
+    if a.instances and b.instances:
+        set_a = {v.lower() for v in a.instances}
+        set_b = {v.lower() for v in b.instances}
+        overlap = len(set_a & set_b) / min(len(set_a), len(set_b))
+        if overlap >= _INSTANCE_OVERLAP_THRESHOLD:
+            return True
+    return False
+
+
+def match_interfaces(
+    interfaces: list[QueryInterface],
+    comparator: SemanticComparator | None = None,
+) -> Mapping:
+    """Recover a cluster :class:`Mapping` for ``interfaces``.
+
+    Greedy: fields are visited interface by interface; each field joins the
+    first existing cluster whose representative matches it and which has no
+    member from the same interface yet, else founds a new cluster.  Cluster
+    names derive from the founding field's label.
+    """
+    comparator = comparator or SemanticComparator()
+    mapping = Mapping()
+    representatives: dict[str, SchemaNode] = {}
+    used_names: set[str] = set()
+
+    for interface in interfaces:
+        for field in interface.fields():
+            placed = False
+            for cluster_name, representative in representatives.items():
+                cluster = mapping[cluster_name]
+                if interface.name in cluster:
+                    continue
+                if fields_match(field, representative, comparator):
+                    cluster.add(interface.name, field)
+                    field.cluster = cluster_name
+                    placed = True
+                    break
+            if not placed:
+                base = (
+                    "c_" + "_".join(field.label.split()).lower()
+                    if field.is_labeled
+                    else f"c_{field.name}"
+                )
+                name = base
+                suffix = 2
+                while name in used_names:
+                    name = f"{base}_{suffix}"
+                    suffix += 1
+                used_names.add(name)
+                mapping.assign(name, interface.name, field)
+                field.cluster = name
+                representatives[name] = field
+    return mapping

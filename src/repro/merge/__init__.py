@@ -1,0 +1,6 @@
+"""Merge substrate: builds the integrated schema tree the naming step labels."""
+
+from .merger import merge_interfaces
+from .order import average_position, cluster_positions
+
+__all__ = ["average_position", "cluster_positions", "merge_interfaces"]

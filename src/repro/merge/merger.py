@@ -1,0 +1,261 @@
+"""Schema-tree merge — reconstruction of the structural step ([8], ICDE'06).
+
+The labeling paper takes the integrated schema tree as input and relies on
+two guarantees from the merge of [8] (its Section 2.3): ancestor-descendant
+relationships of the sources are preserved (under non-conflict constraints)
+and grouping constraints are satisfied as much as possible.  This module
+provides a merge with exactly those guarantees:
+
+1. **Groups.**  Two clusters are sibling-related when some source interface
+   places their fields as leaf children of one internal node.  Connected
+   components of that relation become the integrated groups — this is what
+   lets groups of the integrated interface span sources that never co-state
+   them (the Table 3 situation: State/City from some autos, Zip/Distance
+   from others, one integrated group of four).
+2. **Hierarchy.**  Every source internal node constrains its descendant
+   clusters to stay together under one integrated ancestor.  Constraints
+   are lifted to group granularity and a maximal *laminar* subfamily
+   (greedy, by frequency across sources then by size) becomes the internal
+   structure — crossing constraints, which cannot all be honored in a tree,
+   are dropped by minority, which is the "as much as possible" clause.
+3. **Order.**  Siblings are ordered by majority position (see
+   :mod:`repro.merge.order`).
+
+The merged tree's leaves carry cluster names and no labels; internal nodes
+are unlabeled.  Naming them is the labeling paper's job.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..schema.clusters import Mapping
+from ..schema.interface import QueryInterface
+from ..schema.tree import SchemaNode
+from .order import average_position, cluster_positions
+
+__all__ = ["merge_interfaces"]
+
+
+def merge_interfaces(
+    interfaces: list[QueryInterface], mapping: Mapping
+) -> SchemaNode:
+    """Merge the source interfaces into an integrated schema tree.
+
+    Requires the mapping to be 1:1-reduced (run
+    :meth:`Mapping.expand_one_to_many` first); raises otherwise.
+    """
+    mapping.validate_one_to_one()
+    all_clusters = [c.name for c in mapping.clusters if c.members]
+    if not all_clusters:
+        return SchemaNode(None, name="integrated:root")
+
+    components = _group_components(interfaces, mapping, all_clusters)
+    constraints = _lifted_constraints(interfaces, components)
+    laminar = _laminar_family(constraints, set(components))
+    root = _build_tree(components, laminar, interfaces)
+    # Field domains of the unified interface are the union of the source
+    # domains (the paper delegates this computation to WISE [12]).
+    for leaf in root.leaves():
+        if leaf.cluster is not None:
+            leaf.instances = tuple(sorted(mapping[leaf.cluster].instances_union()))
+    root.validate()
+    return root
+
+
+# ----------------------------------------------------------------------
+# Step 1: groups as connected components of the sibling relation.
+# ----------------------------------------------------------------------
+
+
+def _group_components(
+    interfaces: list[QueryInterface],
+    mapping: Mapping,
+    all_clusters: list[str],
+) -> dict[frozenset[str], str]:
+    """Map each component (frozenset of clusters) to a stable name."""
+    index = {name: i for i, name in enumerate(all_clusters)}
+    parent = list(range(len(all_clusters)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[rj] = ri
+
+    edge_support: Counter = Counter()
+    occurrences: Counter = Counter()
+    for interface in interfaces:
+        for node in interface.root.internal_nodes():
+            if node is interface.root:
+                # Children of a source root are unrelated sections, not a
+                # semantic group (Section 3: root children have only loose
+                # consistency constraints) — no sibling edges there.
+                continue
+            if any(child.is_internal for child in node.children):
+                # A leaf sitting among internal siblings is an *isolated*
+                # field (the Garage pattern of Figure 3), not a group member
+                # — only pure field groups generate sibling relations.
+                continue
+            leaf_children = [
+                child for child in node.children if child.cluster in index
+            ]
+            for i, first in enumerate(leaf_children):
+                for second in leaf_children[i + 1 :]:
+                    key = frozenset((first.cluster, second.cluster))
+                    if len(key) == 2:
+                        edge_support[key] += 1
+
+    # "Grouping constraints are satisfied as much as possible": a sibling
+    # relation needs (a) two sources stating it (one on tiny corpora) and
+    # (b) to hold a substantial fraction of the time the rarer of the two
+    # fields appears anywhere — chance co-locations of loose fields fail
+    # the ratio test, genuine group members pass it.
+    for cluster_name in all_clusters:
+        occurrences[cluster_name] = mapping[cluster_name].frequency()
+    min_support = 2 if len(interfaces) >= 8 else 1
+    for key, support in edge_support.items():
+        if support < min_support:
+            continue
+        a, b = key
+        rarer = max(1, min(occurrences[a], occurrences[b]))
+        if support >= 0.5 * rarer:
+            union(index[a], index[b])
+
+    members: dict[int, list[str]] = {}
+    for name, i in index.items():
+        members.setdefault(find(i), []).append(name)
+
+    components: dict[frozenset[str], str] = {}
+    for cluster_names in members.values():
+        key = frozenset(cluster_names)
+        components[key] = "cmp:" + "+".join(sorted(cluster_names))
+    return components
+
+
+# ----------------------------------------------------------------------
+# Step 2: hierarchy constraints at group granularity.
+# ----------------------------------------------------------------------
+
+
+def _lifted_constraints(
+    interfaces: list[QueryInterface],
+    components: dict[frozenset[str], str],
+) -> Counter:
+    """Each source internal node, lifted to the components it touches."""
+    constraints: Counter = Counter()
+    for interface in interfaces:
+        for node in interface.root.internal_nodes():
+            if node is interface.root:
+                continue
+            clusters = node.descendant_leaf_clusters()
+            if not clusters:
+                continue
+            touched = frozenset(
+                component
+                for component in components
+                if component & clusters
+            )
+            if len(touched) >= 2:
+                constraints[touched] += 1
+    return constraints
+
+
+def _laminar_family(
+    constraints: Counter, universe: set[frozenset[str]]
+) -> list[frozenset[frozenset[str]]]:
+    """Greedy maximal laminar subfamily of the lifted constraints.
+
+    Candidates are visited most-frequent first (majority wins on conflict),
+    larger first on ties; a candidate is kept iff it is nested or disjoint
+    with everything already kept.
+    """
+    kept: list[frozenset[frozenset[str]]] = []
+    full = frozenset(universe)
+    ordered = sorted(
+        constraints.items(),
+        key=lambda item: (-item[1], -len(item[0]), sorted(map(sorted, item[0]))),
+    )
+    for candidate, __ in ordered:
+        if candidate == full or len(candidate) < 2:
+            continue
+        if all(
+            candidate <= existing or existing <= candidate or not candidate & existing
+            for existing in kept
+        ):
+            kept.append(candidate)
+    # Flatten nested constraints: a kept set strictly inside another kept
+    # set is the same source section observed with members missing — keeping
+    # it would add a spurious level that no source label can cover.
+    return [
+        candidate
+        for candidate in kept
+        if not any(candidate < other for other in kept)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Step 3: materialize the ordered tree.
+# ----------------------------------------------------------------------
+
+
+def _build_tree(
+    components: dict[frozenset[str], str],
+    laminar: list[frozenset[frozenset[str]]],
+    interfaces: list[QueryInterface],
+) -> SchemaNode:
+    """Materialize the ordered tree from components + laminar internal sets.
+
+    Laminar sets are processed smallest-first; each consumes the so-far
+    unconsumed subtrees (smaller laminar nodes and bare components) that lie
+    strictly inside it.  Because the family is laminar, every subtree has a
+    unique smallest enclosing set, so each node is attached exactly once.
+    """
+    positions = cluster_positions(interfaces)
+
+    def component_node(component: frozenset[str]) -> SchemaNode:
+        if len(component) == 1:
+            (cluster_name,) = component
+            return SchemaNode(None, cluster=cluster_name, name=f"leaf:{cluster_name}")
+        leaves = [
+            SchemaNode(None, cluster=c, name=f"leaf:{c}")
+            for c in sorted(
+                component, key=lambda c: (average_position([c], positions), c)
+            )
+        ]
+        return SchemaNode(None, leaves, name=components[component])
+
+    def sort_key(item: tuple[frozenset[frozenset[str]], SchemaNode]):
+        key, node = item
+        clusters = [c for comp in key for c in comp]
+        return (average_position(clusters, positions), node.name)
+
+    # Unconsumed subtrees, keyed by the set of components they span.
+    available: dict[frozenset[frozenset[str]], SchemaNode] = {
+        frozenset((component,)): component_node(component)
+        for component in components
+    }
+
+    for group_set in sorted(laminar, key=len):
+        inside = {
+            key: node for key, node in available.items() if key <= group_set
+        }
+        if len(inside) < 2:
+            continue  # everything already nested in one subtree — no new level
+        children = [node for __, node in sorted(inside.items(), key=sort_key)]
+        internal = SchemaNode(
+            None,
+            children,
+            name="int:" + "+".join(sorted(c for comp in group_set for c in comp)),
+        )
+        for key in inside:
+            del available[key]
+        available[group_set] = internal
+
+    top_level = [node for __, node in sorted(available.items(), key=sort_key)]
+    return SchemaNode(None, top_level, name="integrated:root")

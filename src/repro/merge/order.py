@@ -1,0 +1,42 @@
+"""Sibling ordering for the merged tree — majority order among sources.
+
+The merge formalism of [8] outputs an *ordered* schema tree whose sibling
+order "resembles the order of fields in the interface".  We order merged
+siblings by the average normalized position their content occupies across
+the source interfaces, breaking ties deterministically.
+"""
+
+from __future__ import annotations
+
+from ..schema.interface import QueryInterface
+
+__all__ = ["cluster_positions", "average_position"]
+
+
+def cluster_positions(interfaces: list[QueryInterface]) -> dict[str, list[float]]:
+    """Normalized [0, 1] positions each cluster's field occupies per source."""
+    positions: dict[str, list[float]] = {}
+    for interface in interfaces:
+        leaves = interface.fields()
+        n = len(leaves)
+        if n == 0:
+            continue
+        for index, leaf in enumerate(leaves):
+            if leaf.cluster is None:
+                continue
+            positions.setdefault(leaf.cluster, []).append(
+                index / (n - 1) if n > 1 else 0.0
+            )
+    return positions
+
+
+def average_position(clusters, positions: dict[str, list[float]]) -> float:
+    """Mean position of a collection of clusters (1.0 when unknown)."""
+    values = [
+        sum(positions[c]) / len(positions[c])
+        for c in clusters
+        if positions.get(c)
+    ]
+    if not values:
+        return 1.0
+    return sum(values) / len(values)

@@ -1,0 +1,155 @@
+"""Human-readable run reports: everything a labeling run decided, and why.
+
+:func:`domain_report` renders one :class:`DomainRunResult` as a Markdown
+document: corpus characteristics, every group relation with its consistency
+level and chosen solution, homonym repairs, isolated-cluster elections,
+internal-node assignments with their Definition-8 statuses, inference-rule
+usage, the survey outcome, and the labeled tree itself.
+
+This is the artifact a practitioner would attach to a data-integration
+review — the paper's project web page served the same role for its authors.
+Available from the CLI as ``python -m repro report <domain>``.
+"""
+
+from __future__ import annotations
+
+from .core.inference import InferenceRule
+from .core.result import NodeStatus
+from .experiment import DomainRunResult
+from .schema.groups import GroupKind
+
+__all__ = ["domain_report"]
+
+
+def _section(title: str) -> list[str]:
+    return ["", f"## {title}", ""]
+
+
+def _code_block(text: str) -> list[str]:
+    return ["```", *text.splitlines(), "```"]
+
+
+def _percent(value: float) -> str:
+    return f"{value:.1%}"
+
+
+def domain_report(run: DomainRunResult) -> str:
+    """Render ``run`` as a Markdown report (returns the document text)."""
+    labeling = run.labeling
+    lines: list[str] = [
+        f"# Labeling report — {run.domain} (seed {run.dataset.seed})",
+        "",
+        f"*Classification:* **{run.classification}**  ",
+        f"*FldAcc:* {_percent(run.fld_acc)} · *IntAcc:* {_percent(run.int_acc)} · "
+        f"*HA:* {_percent(run.ha)} · *HA\\*:* {_percent(run.ha_star)}",
+    ]
+
+    # ------------------------------------------------------------------
+    lines += _section("Corpus")
+    lines += [
+        f"- {len(run.dataset.interfaces)} source interfaces, "
+        f"avg {run.avg_leaves:.1f} fields, depth {run.avg_depth:.1f}, "
+        f"labeling quality {_percent(run.lq)}",
+        f"- integrated interface: {run.integrated.leaves} fields, "
+        f"{run.integrated.groups} groups, {run.integrated.isolated_leaves} "
+        f"isolated, {run.integrated.root_leaves} root-level, depth "
+        f"{run.integrated.depth}",
+    ]
+    if run.dataset.mapping.expansions:
+        lines.append(
+            f"- 1:m reductions: "
+            + ", ".join(
+                f"{r.field_label!r} on {r.interface} over {len(r.clusters)} clusters"
+                for r in run.dataset.mapping.expansions
+            )
+        )
+
+    # ------------------------------------------------------------------
+    lines += _section("The labeled integrated interface")
+    lines += _code_block(labeling.root.pretty())
+
+    # ------------------------------------------------------------------
+    lines += _section("Group naming")
+    for name, result in labeling.group_results.items():
+        group = result.group
+        kind = "root pseudo-group" if group.kind is GroupKind.ROOT else "group"
+        level = result.level.name.lower() if result.level else "—"
+        verdict = (
+            f"consistent at the {level} level"
+            if result.consistent
+            else "partially consistent"
+        )
+        lines += ["", f"### {name} ({kind}) — {verdict}", ""]
+        lines += _code_block(result.relation.as_table())
+        chosen = labeling.chosen_solutions.get(name)
+        if chosen is not None:
+            rendered = ", ".join(
+                f"{c}: {l!r}" for c, l in chosen.labels.items()
+            )
+            lines += ["", f"solution → {rendered}"]
+    repairs = labeling.repairs
+    if repairs:
+        lines += ["", "### Homonym repairs", ""]
+        for repair in repairs:
+            lines.append(
+                f"- {repair.cluster_a}/{repair.cluster_b}: "
+                f"({repair.old_label_a!r}, {repair.old_label_b!r}) → "
+                f"({repair.new_label_a!r}, {repair.new_label_b!r}) "
+                f"via {repair.source_interface}"
+            )
+
+    # ------------------------------------------------------------------
+    if labeling.isolated_outcomes:
+        lines += _section("Isolated clusters (RAN variant)")
+        for cluster, outcome in labeling.isolated_outcomes.items():
+            detail = [f"roots: {outcome.roots}"]
+            if outcome.li6_replacements:
+                detail.append(f"LI6: {outcome.li6_replacements}")
+            if outcome.discarded_value_labels:
+                detail.append(f"LI7 discarded: {outcome.discarded_value_labels}")
+            lines.append(
+                f"- {cluster} → {outcome.label!r} ({'; '.join(detail)})"
+            )
+
+    # ------------------------------------------------------------------
+    lines += _section("Internal nodes (vertical consistency)")
+    for node in labeling.internal_nodes():
+        status = labeling.node_status.get(node.name)
+        label = labeling.node_labels.get(node.name)
+        clusters = sorted(node.descendant_leaf_clusters())
+        shown = clusters if len(clusters) <= 5 else [*clusters[:5], "…"]
+        marker = {
+            NodeStatus.CONSISTENT: "✓",
+            NodeStatus.WEAKLY_CONSISTENT: "~",
+            NodeStatus.UNLABELED_BLOCKED: "✗ (blocked)",
+            NodeStatus.UNLABELED_NO_POTENTIALS: "✗ (no potentials)",
+        }.get(status, "?")
+        lines.append(f"- {marker} {label!r} over {shown}")
+
+    # ------------------------------------------------------------------
+    lines += _section("Inference rules")
+    total = run.inference_log.total()
+    if total:
+        for rule in InferenceRule:
+            count = run.inference_log.counts.get(rule, 0)
+            if count:
+                lines.append(f"- {rule.value}: {count} ({count / total:.0%})")
+    else:
+        lines.append("- (none fired)")
+
+    # ------------------------------------------------------------------
+    lines += _section("Survey")
+    lines.append(
+        f"- {run.study.respondent_count} simulated respondents over "
+        f"{run.study.field_count} fields: HA {_percent(run.ha)}, "
+        f"HA* {_percent(run.ha_star)}"
+    )
+    if run.study.flag_counts:
+        lines.append("- flagged fields (votes):")
+        for cluster, votes in run.study.flag_counts.most_common():
+            label = labeling.field_labels.get(cluster)
+            lines.append(f"  - {cluster} (label {label!r}): {votes}")
+    else:
+        lines.append("- nobody flagged anything")
+
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,41 @@
+"""Schema substrate: ordered trees, query interfaces, clusters, groups."""
+
+from .clusters import Cluster, ExpansionRecord, Mapping
+from .groups import Group, GroupKind, GroupPartition, partition_clusters
+from .interface import FieldKind, QueryInterface, make_field, make_group
+from .serialize import (
+    interface_from_dict,
+    interface_to_dict,
+    load_corpus,
+    mapping_from_dict,
+    mapping_to_dict,
+    node_from_dict,
+    node_to_dict,
+    save_corpus,
+)
+from .tree import SchemaNode, depth_of, lowest_common_ancestor
+
+__all__ = [
+    "Cluster",
+    "ExpansionRecord",
+    "FieldKind",
+    "Group",
+    "GroupKind",
+    "GroupPartition",
+    "Mapping",
+    "QueryInterface",
+    "SchemaNode",
+    "depth_of",
+    "interface_from_dict",
+    "interface_to_dict",
+    "load_corpus",
+    "lowest_common_ancestor",
+    "make_field",
+    "make_group",
+    "mapping_from_dict",
+    "mapping_to_dict",
+    "node_from_dict",
+    "node_to_dict",
+    "partition_clusters",
+    "save_corpus",
+]

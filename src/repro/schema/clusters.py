@@ -1,0 +1,227 @@
+"""Clusters and the global mapping (paper Section 2.1).
+
+"Among the inputs of our problem is a mapping globally characterizing the
+semantic correspondences between equivalent fields in the query interfaces.
+The mapping is organized in clusters that record 1:1 and 1:m matchings of
+fields."
+
+A :class:`Cluster` holds, per interface, the field(s) that realize one global
+concept (Table 1 of the paper: ``c_Adult`` holds ``Adults``, ``Adult``, ...).
+A field matching several clusters (``Passengers``) creates a granularity
+mismatch; :meth:`Mapping.expand_one_to_many` performs the reduction described
+in the paper: the leaf becomes an internal node whose unlabeled children have
+1:1 correspondences, and its label ("Passengers") leaves the clusters —
+surviving only as a potential label for internal nodes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from .interface import QueryInterface
+from .tree import SchemaNode
+
+__all__ = ["Cluster", "Mapping", "ExpansionRecord"]
+
+
+@dataclass
+class Cluster:
+    """All semantically equivalent fields across interfaces for one concept."""
+
+    name: str
+    members: dict[str, SchemaNode] = field(default_factory=dict)
+
+    def add(self, interface_name: str, node: SchemaNode) -> None:
+        if interface_name in self.members:
+            raise ValueError(
+                f"cluster {self.name}: interface {interface_name} already has a member"
+            )
+        self.members[interface_name] = node
+
+    def label_of(self, interface_name: str) -> str | None:
+        """The (display) label this interface supplies, or None."""
+        node = self.members.get(interface_name)
+        if node is None or not node.is_labeled:
+            return None
+        return node.label
+
+    def labels(self) -> list[str]:
+        """All distinct labels supplied for this cluster, first-seen order."""
+        seen: list[str] = []
+        for node in self.members.values():
+            if node.is_labeled and node.label not in seen:
+                seen.append(node.label)
+        return seen
+
+    def instances_union(self, label: str | None = None) -> frozenset[str]:
+        """Union of instance values of member fields.
+
+        With ``label`` given, restrict to members carrying exactly that
+        label — the ``domain(l)`` of inference rule LI6.
+        """
+        values: set[str] = set()
+        for node in self.members.values():
+            if label is not None and node.label != label:
+                continue
+            values.update(node.instances)
+        return frozenset(values)
+
+    def frequency(self) -> int:
+        """Number of interfaces contributing a field to this cluster."""
+        return len(self.members)
+
+    def __contains__(self, interface_name: str) -> bool:
+        return interface_name in self.members
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Cluster({self.name!r}, {len(self.members)} members)"
+
+
+@dataclass(frozen=True)
+class ExpansionRecord:
+    """One 1:m reduction: ``field_label`` on ``interface`` expanded over
+    ``clusters`` (paper Section 2.1, the Passengers example)."""
+
+    interface: str
+    field_label: str | None
+    clusters: tuple[str, ...]
+
+
+class Mapping:
+    """The set of clusters for a domain, with 1:m granularity reduction."""
+
+    def __init__(self, clusters: list[Cluster] | None = None) -> None:
+        self._clusters: dict[str, Cluster] = {}
+        for cluster in clusters or []:
+            self.add_cluster(cluster)
+        self.expansions: list[ExpansionRecord] = []
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+
+    def add_cluster(self, cluster: Cluster) -> None:
+        if cluster.name in self._clusters:
+            raise ValueError(f"duplicate cluster name {cluster.name!r}")
+        self._clusters[cluster.name] = cluster
+
+    def get_or_create(self, name: str) -> Cluster:
+        cluster = self._clusters.get(name)
+        if cluster is None:
+            cluster = Cluster(name)
+            self._clusters[name] = cluster
+        return cluster
+
+    def assign(self, cluster_name: str, interface_name: str, node: SchemaNode) -> None:
+        """Place ``node`` of ``interface_name`` into ``cluster_name``.
+
+        A node may be assigned to several clusters before reduction; the
+        node's own ``cluster`` attribute is only set once it is unambiguous.
+        """
+        self.get_or_create(cluster_name).add(interface_name, node)
+
+    # ------------------------------------------------------------------
+    # Access.
+    # ------------------------------------------------------------------
+
+    @property
+    def clusters(self) -> list[Cluster]:
+        return list(self._clusters.values())
+
+    def cluster_names(self) -> list[str]:
+        return list(self._clusters)
+
+    def __getitem__(self, name: str) -> Cluster:
+        return self._clusters[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._clusters
+
+    def __len__(self) -> int:
+        return len(self._clusters)
+
+    def clusters_of(self, interface_name: str, node: SchemaNode) -> list[str]:
+        """Names of the clusters that contain this exact node."""
+        return [
+            cluster.name
+            for cluster in self._clusters.values()
+            if cluster.members.get(interface_name) is node
+        ]
+
+    # ------------------------------------------------------------------
+    # 1:m -> 1:1 reduction (Section 2.1).
+    # ------------------------------------------------------------------
+
+    def expand_one_to_many(self, interfaces: list[QueryInterface]) -> list[ExpansionRecord]:
+        """Reduce every 1:m correspondence to 1:1 correspondences.
+
+        For each field that belongs to several clusters, the leaf is expanded
+        in its source tree into an internal node (keeping the original label,
+        which thereby becomes internal-node material) whose fresh unlabeled
+        children take the field's place in each cluster.
+
+        Returns the list of expansions performed (also stored on
+        ``self.expansions``).
+        """
+        by_name = {qi.name: qi for qi in interfaces}
+        # Collect multi-cluster memberships: (interface, node) -> cluster names.
+        memberships: dict[tuple[str, int], list[str]] = defaultdict(list)
+        node_of: dict[tuple[str, int], SchemaNode] = {}
+        for cluster in self._clusters.values():
+            for interface_name, node in cluster.members.items():
+                key = (interface_name, id(node))
+                memberships[key].append(cluster.name)
+                node_of[key] = node
+
+        performed: list[ExpansionRecord] = []
+        for key, cluster_names in memberships.items():
+            interface_name, _ = key
+            node = node_of[key]
+            if len(cluster_names) < 2:
+                # 1:1 — just record the membership on the node.
+                node.cluster = cluster_names[0]
+                continue
+            interface = by_name.get(interface_name)
+            if interface is None:
+                raise KeyError(
+                    f"mapping references unknown interface {interface_name!r}"
+                )
+            children = []
+            for cluster_name in cluster_names:
+                child = SchemaNode(
+                    None,
+                    kind=node.kind,
+                    instances=node.instances,
+                    cluster=cluster_name,
+                    name=f"{node.name}:{cluster_name}",
+                )
+                children.append(child)
+                self._clusters[cluster_name].members[interface_name] = child
+            expanded = SchemaNode(node.label, children, name=node.name)
+            if node.parent is None:
+                raise ValueError(
+                    f"cannot expand root-level field {node.name} of {interface_name}"
+                )
+            node.parent.replace_child(node, expanded)
+            record = ExpansionRecord(
+                interface=interface_name,
+                field_label=node.label,
+                clusters=tuple(cluster_names),
+            )
+            performed.append(record)
+        self.expansions.extend(performed)
+        return performed
+
+    def validate_one_to_one(self) -> None:
+        """Raise if any field still belongs to more than one cluster."""
+        seen: dict[tuple[str, int], str] = {}
+        for cluster in self._clusters.values():
+            for interface_name, node in cluster.members.items():
+                key = (interface_name, id(node))
+                if key in seen:
+                    raise ValueError(
+                        f"field {node.name} of {interface_name} is in both "
+                        f"{seen[key]} and {cluster.name}"
+                    )
+                seen[key] = cluster.name

@@ -1,0 +1,131 @@
+"""Groups of clusters and the C_groups / C_root / C_int partition (Sec. 3).
+
+"Based on the placement of the fields in the integrated schema tree, the set
+of clusters is divided into three disjoint partitions: the set of clusters
+that belong to some group (C_groups), the set of clusters that are children
+of the root (C_root) and the set of clusters that are isolated children of
+internal nodes, other than the root (C_int)."
+
+The partition is computed from the integrated tree alone: leaves that share
+a non-root parent form a regular group (two or more of them); a lone leaf
+child of a non-root internal node is isolated; leaf children of the root
+form the special root group, which accepts partially consistent solutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .tree import SchemaNode
+
+__all__ = ["GroupKind", "Group", "GroupPartition", "partition_clusters"]
+
+
+class GroupKind(str, Enum):
+    REGULAR = "regular"      # members of C_groups
+    ROOT = "root"            # the C_root pseudo-group
+    ISOLATED = "isolated"    # singleton clusters in C_int
+
+
+@dataclass(frozen=True)
+class Group:
+    """A semantic unit of clusters under one parent of the integrated tree."""
+
+    name: str
+    kind: GroupKind
+    clusters: tuple[str, ...]
+    parent_name: str
+
+    @property
+    def is_isolated(self) -> bool:
+        return self.kind is GroupKind.ISOLATED
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+
+@dataclass
+class GroupPartition:
+    """The three-way partition of an integrated tree's clusters."""
+
+    regular: list[Group]
+    root_group: Group | None
+    isolated: list[Group]
+
+    def all_groups(self) -> list[Group]:
+        """Every group, regular first, then root, then isolated singletons."""
+        groups = list(self.regular)
+        if self.root_group is not None:
+            groups.append(self.root_group)
+        groups.extend(self.isolated)
+        return groups
+
+    def c_groups(self) -> list[tuple[str, ...]]:
+        return [g.clusters for g in self.regular]
+
+    def c_root(self) -> tuple[str, ...]:
+        return self.root_group.clusters if self.root_group else ()
+
+    def c_int(self) -> tuple[str, ...]:
+        return tuple(cluster for g in self.isolated for cluster in g.clusters)
+
+    def group_of(self, cluster: str) -> Group | None:
+        for group in self.all_groups():
+            if cluster in group.clusters:
+                return group
+        return None
+
+
+def partition_clusters(integrated_root: SchemaNode) -> GroupPartition:
+    """Compute the C_groups / C_root / C_int partition of Section 3.
+
+    Every leaf of the integrated tree must carry a ``cluster`` name.
+    Group names are derived from the parent node's ``name`` so they are
+    stable across runs of the same tree.
+    """
+    regular: list[Group] = []
+    isolated: list[Group] = []
+    root_clusters: list[str] = []
+
+    for node in integrated_root.walk():
+        if node.is_leaf:
+            if node.cluster is None:
+                raise ValueError(
+                    f"integrated leaf {node.name!r} has no cluster assignment"
+                )
+            continue
+        leaf_children = [child for child in node.children if child.is_leaf]
+        if not leaf_children:
+            continue
+        clusters = tuple(child.cluster for child in leaf_children)
+        if node is integrated_root:
+            root_clusters.extend(clusters)
+        elif len(leaf_children) >= 2:
+            regular.append(
+                Group(
+                    name=f"group:{node.name}",
+                    kind=GroupKind.REGULAR,
+                    clusters=clusters,
+                    parent_name=node.name,
+                )
+            )
+        else:
+            isolated.append(
+                Group(
+                    name=f"isolated:{clusters[0]}",
+                    kind=GroupKind.ISOLATED,
+                    clusters=clusters,
+                    parent_name=node.name,
+                )
+            )
+
+    root_group = None
+    if root_clusters:
+        root_group = Group(
+            name="group:root",
+            kind=GroupKind.ROOT,
+            clusters=tuple(root_clusters),
+            parent_name=integrated_root.name,
+        )
+    return GroupPartition(regular=regular, root_group=root_group, isolated=isolated)

@@ -1,0 +1,101 @@
+"""Query interfaces: a named schema tree plus interface-level measures.
+
+A :class:`QueryInterface` wraps the root :class:`SchemaNode` of one source
+(or of the integrated interface) and exposes the per-interface statistics
+the paper reports in Table 6: number of leaves, number of internal nodes,
+depth, and labeling quality (LQ — the fraction of nodes that carry labels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .tree import FieldKind, SchemaNode, depth_of
+
+__all__ = ["QueryInterface", "FieldKind", "make_field", "make_group"]
+
+
+def make_field(
+    label: str | None,
+    *,
+    kind: FieldKind = FieldKind.TEXT_BOX,
+    instances: tuple[str, ...] = (),
+    cluster: str | None = None,
+    name: str | None = None,
+) -> SchemaNode:
+    """Convenience constructor for a leaf field node."""
+    return SchemaNode(
+        label, kind=kind, instances=tuple(instances), cluster=cluster, name=name
+    )
+
+
+def make_group(label: str | None, children, *, name: str | None = None) -> SchemaNode:
+    """Convenience constructor for an internal (group) node."""
+    return SchemaNode(label, list(children), name=name)
+
+
+@dataclass
+class QueryInterface:
+    """One form-based search interface, abstracted as an ordered schema tree."""
+
+    name: str
+    root: SchemaNode
+    domain: str | None = None
+    url: str | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.root.validate()
+
+    # ------------------------------------------------------------------
+    # Access.
+    # ------------------------------------------------------------------
+
+    def fields(self) -> list[SchemaNode]:
+        """The leaf fields in interface order.
+
+        A childless root is an *empty* interface, not a one-field one —
+        the root node itself is never a field.
+        """
+        return [node for node in self.root.leaves() if node is not self.root]
+
+    def internal_nodes(self, include_root: bool = True) -> list[SchemaNode]:
+        nodes = self.root.internal_nodes()
+        if not include_root and nodes and nodes[0] is self.root:
+            nodes = nodes[1:]
+        return nodes
+
+    def field_by_name(self, name: str) -> SchemaNode:
+        node = self.root.find_by_name(name)
+        if node is None or not node.is_leaf:
+            raise KeyError(f"{self.name}: no field named {name!r}")
+        return node
+
+    # ------------------------------------------------------------------
+    # Table 6 measures (columns 2-5).
+    # ------------------------------------------------------------------
+
+    def leaf_count(self) -> int:
+        return len(self.fields())
+
+    def internal_node_count(self, include_root: bool = False) -> int:
+        """Internal nodes below the root — the paper counts (super)groups,
+        not the implicit root of the form itself."""
+        return len(self.internal_nodes(include_root=include_root))
+
+    def depth(self) -> int:
+        return depth_of(self.root)
+
+    def labeling_quality(self) -> float:
+        """LQ: fraction of nodes (leaves + internal, excl. root) labeled."""
+        nodes = [node for node in self.root.walk() if node is not self.root]
+        if not nodes:
+            return 1.0
+        labeled = sum(1 for node in nodes if node.is_labeled)
+        return labeled / len(nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"QueryInterface({self.name!r}, fields={self.leaf_count()}, "
+            f"depth={self.depth()})"
+        )

@@ -1,0 +1,6 @@
+"""Human-acceptance substrate: simulated respondents, HA / HA* metrics."""
+
+from .respondent import Difficulty, Respondent
+from .study import StudyResult, run_study
+
+__all__ = ["Difficulty", "Respondent", "StudyResult", "run_study"]

@@ -1,0 +1,200 @@
+"""Simulated survey respondents — the human-acceptance substrate.
+
+The paper's Section 7 asked 11 people three questions about each integrated
+interface: (1) any difficulty filling in a field?  (2) which fields?
+(3) are those fields understandable on a *source* interface?  Its analysis
+attributes every hard-to-understand field to identifiable causes: fields
+with frequency 1 ("too specific to be included in the global interface",
+e.g. chain discount programs), unlabeled fields without instances, residual
+homonym pairs, and overly generic labels.
+
+A :class:`Respondent` encodes exactly that causal model: it flags a field
+with a per-cause probability (people differ — not everyone notices every
+problem), and separately judges whether the difficulty is *inherited from
+the sources* (question 3) — which is what separates HA from HA*.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.result import LabelingResult
+from ..core.semantics import SemanticComparator
+from ..schema.clusters import Mapping
+
+__all__ = ["Difficulty", "Respondent"]
+
+#: Single content words too vague to stand alone on a global interface.
+_GENERIC_LONERS = frozenset(
+    {"category", "function", "type", "option", "options", "name", "other"}
+)
+
+
+@dataclass(frozen=True)
+class Difficulty:
+    """One flagged field: the cluster, the cause, and source attribution."""
+
+    cluster: str
+    cause: str                   # unlabeled | too_specific | homonym | generic
+    inherited_from_source: bool  # question 3: hard on the source too?
+
+
+class Respondent:
+    """One simulated survey participant.
+
+    ``attentiveness`` scales every flagging probability: a distracted
+    respondent misses problems a careful one reports, which is how the
+    paper's per-person averages get their spread.
+    """
+
+    #: Base flagging probability per cause (scaled by attentiveness).
+    _CAUSE_PROBABILITY = {
+        "unlabeled": 0.95,
+        "too_specific": 0.75,
+        "homonym": 0.6,
+        "generic": 0.15,
+    }
+
+    def __init__(self, seed: int, attentiveness: float | None = None) -> None:
+        self._rng = random.Random(seed)
+        if attentiveness is None:
+            attentiveness = 0.7 + 0.3 * self._rng.random()
+        self.attentiveness = attentiveness
+        self._homonym_peers: dict[str, str] = {}
+        self._comparator: SemanticComparator | None = None
+
+    # ------------------------------------------------------------------
+
+    def review(
+        self,
+        result: LabelingResult,
+        mapping: Mapping,
+        comparator: SemanticComparator,
+    ) -> list[Difficulty]:
+        """Question 1+2: the fields this respondent has difficulty with."""
+        difficulties: list[Difficulty] = []
+        self._homonym_peers = {}
+        self._comparator = comparator
+        for cluster, cause in self._objective_problems(result, mapping, comparator):
+            probability = (
+                self._CAUSE_PROBABILITY[cause] * self.attentiveness
+            )
+            if self._rng.random() < probability:
+                difficulties.append(
+                    Difficulty(
+                        cluster=cluster,
+                        cause=cause,
+                        inherited_from_source=self._inherited(cluster, cause, mapping),
+                    )
+                )
+        return difficulties
+
+    # ------------------------------------------------------------------
+
+    def _objective_problems(
+        self,
+        result: LabelingResult,
+        mapping: Mapping,
+        comparator: SemanticComparator,
+    ):
+        """The causal model: (cluster, cause) pairs a person could notice."""
+        labels = {
+            c: l for c, l in result.field_labels.items() if c in mapping
+        }
+        named = [(c, l) for c, l in labels.items() if l]
+        token_df = self._token_document_frequency(mapping, comparator)
+        for cluster, label in labels.items():
+            leaf = result.root.find_by_cluster(cluster)
+            has_instances = bool(leaf is not None and leaf.instances)
+            if not label and not has_instances:
+                yield cluster, "unlabeled"
+                continue
+            if mapping[cluster].frequency() <= 1 and self._is_jargon(
+                label, token_df, comparator
+            ):
+                # The paper: "without exception all the fields that people
+                # found hard to understand have ... a frequency of 1" —
+                # chain-specific jargon like "Wyndham ByRequest No".  A
+                # frequency-1 field whose words are ordinary domain
+                # vocabulary ("Signed Copy") does not confuse anyone.
+                yield cluster, "too_specific"
+                continue
+            if label:
+                tokens = comparator.analyzer.label(label).tokens
+                if (
+                    len(tokens) == 1
+                    and tokens[0].lemma in _GENERIC_LONERS
+                ):
+                    yield cluster, "generic"
+                    continue
+                for other_cluster, other_label in named:
+                    if other_cluster == cluster:
+                        continue
+                    if comparator.similar(label, other_label):
+                        self._homonym_peers.setdefault(cluster, other_cluster)
+                        yield cluster, "homonym"
+                        break
+
+    @staticmethod
+    def _token_document_frequency(mapping: Mapping, comparator) -> dict[str, int]:
+        """How many source interfaces use each content-word stem anywhere."""
+        per_interface: dict[str, set[str]] = {}
+        for cluster in mapping.clusters:
+            for interface_name, node in cluster.members.items():
+                if not node.is_labeled:
+                    continue
+                stems = comparator.analyzer.label(node.label).stems
+                per_interface.setdefault(interface_name, set()).update(stems)
+        counts: dict[str, int] = {}
+        for stems in per_interface.values():
+            for stem in stems:
+                counts[stem] = counts.get(stem, 0) + 1
+        return counts
+
+    def _is_jargon(self, label, token_df: dict[str, int], comparator) -> bool:
+        """A label is jargon when it is missing, or uses a token that is
+        both outside ordinary vocabulary (the lexicon) and a one-off in the
+        corpus — brand/program names like "Wyndham ByRequest No"."""
+        if not label:
+            return True
+        tokens = comparator.analyzer.label(label).tokens
+        if not tokens:
+            return True
+        return any(
+            not comparator.wordnet.is_known(t.lemma)
+            and token_df.get(t.stem, 0) <= 1
+            for t in tokens
+        )
+
+    def _inherited(self, cluster: str, cause: str, mapping: Mapping) -> bool:
+        """Question 3: is the field just as hard on a source interface?
+
+        Frequency-1 fields are verbatim copies of their single source — if
+        they confuse here, they confuse there (the paper's Hotels/Book
+        analysis).  Unlabeled fields are unlabeled on the sources too when
+        no source ever labels them.
+        """
+        if cause == "too_specific":
+            return True
+        if cause == "unlabeled":
+            return all(
+                not node.is_labeled for node in mapping[cluster].members.values()
+            )
+        if cause == "homonym":
+            # Inherited when some source interface itself labels both
+            # clusters ambiguously (the paper's airline analysis: "half of
+            # the errors originate from source interfaces").
+            peer = self._homonym_peers.get(cluster)
+            comparator = self._comparator
+            if peer is not None and peer in mapping and comparator is not None:
+                for interface_name, node in mapping[cluster].members.items():
+                    other = mapping[peer].members.get(interface_name)
+                    if (
+                        node.is_labeled
+                        and other is not None
+                        and other.is_labeled
+                        and comparator.similar(node.label, other.label)
+                    ):
+                        return True
+        return False

@@ -1,0 +1,90 @@
+"""The human-acceptance study: HA and HA* of Table 6 (columns 14-15).
+
+"HA is defined as the average of per person percentage of non-ambiguous
+attributes within an integrated interface."  HA* recomputes the metric
+after discounting fields "which are difficult to understand in both
+integrated interface and on some source interfaces" — hence HA* >= HA.
+
+:func:`run_study` polls ``respondent_count`` simulated users (11, like the
+paper) over a labeled integrated interface and returns both metrics plus
+the flagged fields for inspection.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..core.result import LabelingResult
+from ..core.semantics import SemanticComparator
+from ..schema.clusters import Mapping
+from .respondent import Difficulty, Respondent
+
+__all__ = ["StudyResult", "run_study"]
+
+
+@dataclass
+class StudyResult:
+    """HA / HA* plus per-field flag counts for one integrated interface."""
+
+    ha: float
+    ha_star: float
+    respondent_count: int
+    field_count: int
+    flag_counts: Counter = field(default_factory=Counter)
+    difficulties: list[list[Difficulty]] = field(default_factory=list)
+
+    def flagged_clusters(self) -> list[str]:
+        return [cluster for cluster, __ in self.flag_counts.most_common()]
+
+
+def run_study(
+    result: LabelingResult,
+    mapping: Mapping,
+    comparator: SemanticComparator | None = None,
+    respondent_count: int = 11,
+    seed: int = 0,
+) -> StudyResult:
+    """Simulate the Section 7 survey over a labeling result.
+
+    HA averages, per respondent, the fraction of fields *not* flagged;
+    HA* does the same after removing flags the respondent attributes to
+    the source interfaces (question 3 of the survey).
+    """
+    comparator = comparator or SemanticComparator()
+    fields = [
+        leaf.cluster
+        for leaf in result.root.leaves()
+        if leaf.cluster is not None
+    ]
+    total = len(fields)
+    if total == 0:
+        return StudyResult(
+            ha=1.0, ha_star=1.0, respondent_count=respondent_count, field_count=0
+        )
+
+    ha_scores: list[float] = []
+    ha_star_scores: list[float] = []
+    flag_counts: Counter = Counter()
+    all_difficulties: list[list[Difficulty]] = []
+
+    for index in range(respondent_count):
+        respondent = Respondent(seed=seed * 1009 + index)
+        difficulties = respondent.review(result, mapping, comparator)
+        all_difficulties.append(difficulties)
+        flagged = {d.cluster for d in difficulties}
+        flag_counts.update(flagged)
+        ha_scores.append((total - len(flagged)) / total)
+        own_fault = {
+            d.cluster for d in difficulties if not d.inherited_from_source
+        }
+        ha_star_scores.append((total - len(own_fault)) / total)
+
+    return StudyResult(
+        ha=sum(ha_scores) / respondent_count,
+        ha_star=sum(ha_star_scores) / respondent_count,
+        respondent_count=respondent_count,
+        field_count=total,
+        flag_counts=flag_counts,
+        difficulties=all_difficulties,
+    )

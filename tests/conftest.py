@@ -1,0 +1,115 @@
+"""Shared fixtures: lexicon, comparator, and the paper's worked examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.label import LabelAnalyzer
+from repro.core.semantics import SemanticComparator
+from repro.lexicon.data import build_default_wordnet
+from repro.schema.clusters import Mapping
+from repro.schema.groups import Group, GroupKind
+from repro.schema.interface import QueryInterface, make_field, make_group
+from repro.schema.tree import SchemaNode
+
+
+@pytest.fixture(scope="session")
+def wordnet():
+    return build_default_wordnet()
+
+
+@pytest.fixture(scope="session")
+def analyzer(wordnet):
+    return LabelAnalyzer(wordnet)
+
+
+@pytest.fixture(scope="session")
+def comparator(analyzer):
+    return SemanticComparator(analyzer)
+
+
+def build_group_corpus(rows: dict[str, dict[str, str]], clusters: list[str]):
+    """Build interfaces + mapping from ``{interface: {cluster: label}}``.
+
+    Each interface gets one group node containing its labeled fields —
+    the shape of the paper's Tables 2-4.
+    """
+    mapping = Mapping()
+    interfaces = []
+    for interface_name, labels in rows.items():
+        fields = []
+        for cluster in clusters:
+            if cluster not in labels:
+                continue
+            field = make_field(
+                labels[cluster],
+                cluster=cluster,
+                name=f"{interface_name}:{cluster}",
+            )
+            fields.append(field)
+            mapping.assign(cluster, interface_name, field)
+        root = SchemaNode(
+            None,
+            [make_group(None, fields, name=f"{interface_name}:grp")],
+            name=f"{interface_name}:root",
+        )
+        interfaces.append(QueryInterface(interface_name, root))
+    return interfaces, mapping
+
+
+def regular_group(clusters: list[str], name: str = "g") -> Group:
+    return Group(
+        name=name,
+        kind=GroupKind.REGULAR,
+        clusters=tuple(clusters),
+        parent_name="p",
+    )
+
+
+@pytest.fixture()
+def table2_corpus():
+    """The paper's Table 2: the airline passenger group."""
+    rows = {
+        "aa": {"c_adult": "Adults", "c_child": "Children"},
+        "airfareplanet": {"c_adult": "Adult", "c_child": "Child"},
+        "airtravel": {"c_adult": "Adult", "c_child": "Child", "c_infant": "Infant"},
+        "british": {"c_senior": "Seniors", "c_adult": "Adults", "c_child": "Children"},
+        "economytravel": {
+            "c_adult": "Adults", "c_child": "Children", "c_infant": "Infants"
+        },
+        "vacations": {"c_senior": "Seniors", "c_adult": "Adults", "c_child": "Children"},
+    }
+    clusters = ["c_senior", "c_adult", "c_child", "c_infant"]
+    interfaces, mapping = build_group_corpus(rows, clusters)
+    return interfaces, mapping, regular_group(clusters, "passengers")
+
+
+@pytest.fixture()
+def table3_corpus():
+    """The paper's Table 3: the auto location group with disjoint halves."""
+    rows = {
+        "100auto": {"c_state": "State", "c_city": "City"},
+        "Ads4autos": {"c_state": "State", "c_city": "City"},
+        "CarMarket": {"c_zip": "Zip Code", "c_distance": "Distance"},
+        "cars-1": {"c_zip": "Your Zip", "c_distance": "Within"},
+    }
+    clusters = ["c_state", "c_city", "c_zip", "c_distance"]
+    interfaces, mapping = build_group_corpus(rows, clusters)
+    return interfaces, mapping, regular_group(clusters, "location")
+
+
+@pytest.fixture()
+def table4_corpus():
+    """The paper's Table 4: the airline service group (semantic level)."""
+    rows = {
+        "aa": {"c_stops": "NonStop", "c_airline": "Choose an Airline"},
+        "airfare": {
+            "c_stops": "Number of Connections", "c_airline": "Airline Preference"
+        },
+        "alldest": {"c_class": "Class of Ticket", "c_airline": "Preferred Airline"},
+        "cheap": {"c_stops": "Max. Number of Stops", "c_airline": "Airline Preference"},
+        "msn": {"c_class": "Class", "c_airline": "Airline"},
+    }
+    clusters = ["c_stops", "c_class", "c_airline"]
+    interfaces, mapping = build_group_corpus(rows, clusters)
+    return interfaces, mapping, regular_group(clusters, "service")

@@ -1,0 +1,65 @@
+"""The typed paper-vs-measured comparison (repro.analysis)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Deviation, compare_to_paper, shape_violations
+from repro.experiment import run_all_domains
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return run_all_domains(seed=0, respondent_count=11)
+
+
+class TestCompareToPaper:
+    def test_reference_corpus_has_no_shape_violations(self, runs):
+        assert shape_violations(runs) == []
+
+    def test_magnitude_deviations_are_typed(self, runs):
+        for deviation in compare_to_paper(runs):
+            assert isinstance(deviation, Deviation)
+            assert deviation.domain in runs
+            assert not deviation.is_shape_violation
+
+    def test_detects_fldacc_floor_violation(self, runs):
+        import dataclasses
+
+        broken = dict(runs)
+        bad = dataclasses.replace  # DomainRunResult is a plain dataclass
+        run = runs["job"]
+        hacked = bad(run, fld_acc=0.5)
+        broken["job"] = hacked
+        violations = shape_violations(broken)
+        assert any(
+            d.domain == "job" and d.metric == "fld_acc" for d in violations
+        )
+
+    def test_detects_classification_flip(self, runs):
+        class Fake:
+            def __getattr__(self, name):
+                return getattr(runs["job"], name)
+
+            classification = "inconsistent"
+
+        broken = dict(runs)
+        broken["job"] = Fake()
+        violations = shape_violations(broken)
+        assert any(
+            d.domain == "job" and d.metric == "classification"
+            for d in violations
+        )
+
+    def test_detects_ha_star_inversion(self, runs):
+        class Fake:
+            def __getattr__(self, name):
+                return getattr(runs["book"], name)
+
+            ha = 0.9
+            ha_star = 0.5
+
+        broken = dict(runs)
+        broken["book"] = Fake()
+        violations = shape_violations(broken)
+        assert any(d.metric == "ha_star" for d in violations)

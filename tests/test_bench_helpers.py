@@ -1,0 +1,46 @@
+"""The shared benchmark-harness helpers (table rendering, persistence)."""
+
+from __future__ import annotations
+
+from repro.bench import format_table, write_result
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(
+            ["Name", "Value"],
+            [["alpha", 1], ["b", 22222]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("Name")
+        assert set(lines[2]) <= {"-", " "}
+        # Columns align: 'Value' column starts at the same offset everywhere.
+        offset = lines[1].index("Value")
+        assert lines[3][offset:].startswith("1")
+
+    def test_empty_rows(self):
+        text = format_table(["A", "B"], [])
+        assert "A" in text and text.count("\n") == 1
+
+    def test_no_title(self):
+        text = format_table(["A"], [["x"]])
+        assert text.splitlines()[0].startswith("A")
+
+
+class TestWriteResult:
+    def test_writes_and_prints(self, tmp_path, capsys):
+        path = write_result("unit", "hello table", directory=tmp_path)
+        assert path.read_text() == "hello table\n"
+        assert "hello table" in capsys.readouterr().out
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "results"
+        path = write_result("unit", "x", directory=target)
+        assert path.parent == target and path.exists()
+
+    def test_overwrites(self, tmp_path):
+        write_result("unit", "first", directory=tmp_path)
+        path = write_result("unit", "second", directory=tmp_path)
+        assert path.read_text() == "second\n"

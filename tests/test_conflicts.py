@@ -1,0 +1,107 @@
+"""Homonym conflict detection and repair (Section 4.2.3)."""
+
+from __future__ import annotations
+
+from repro.core.conflicts import find_homonym_pairs, resolve_homonyms
+from repro.core.group_relation import GroupRelation
+from repro.core.solutions import GroupSolution
+
+from .conftest import build_group_corpus, regular_group
+
+CLUSTERS = ["c_options", "c_type", "c_pref", "c_company"]
+
+
+def _job_relation():
+    """The paper's 4.2.3 example: Job Type vs Type of Job, repaired through
+    a row that spells the preference cluster 'Employment Type'."""
+    rows = {
+        "jobsite": {
+            "c_options": "Position Options",
+            "c_type": "Job Type",
+            "c_pref": "Type of Job",
+            "c_company": "Company Name",
+        },
+        "careers": {
+            "c_options": "Options",
+            "c_type": "Job Type",
+            "c_pref": "Employment Type",
+            "c_company": "Employer",
+        },
+    }
+    __, mapping = build_group_corpus(rows, CLUSTERS)
+    group = regular_group(CLUSTERS, "job")
+    return GroupRelation.from_mapping(group, mapping), group
+
+
+class TestFindHomonymPairs:
+    def test_detects_equal_content_labels(self, comparator):
+        labels = {
+            "c_type": "Job Type",
+            "c_pref": "Type of Job",
+            "c_company": "Company Name",
+        }
+        pairs = find_homonym_pairs(labels, comparator)
+        assert pairs == [("c_type", "c_pref")]
+
+    def test_none_labels_ignored(self, comparator):
+        assert find_homonym_pairs({"a": None, "b": "X"}, comparator) == []
+
+    def test_clean_solution_has_no_pairs(self, comparator):
+        labels = {"a": "Adults", "b": "Children", "c": "Seniors"}
+        assert find_homonym_pairs(labels, comparator) == []
+
+
+class TestResolveHomonyms:
+    def test_paper_example(self, comparator):
+        relation, group = _job_relation()
+        solution = GroupSolution(
+            group=group,
+            labels={
+                "c_options": "Position Options",
+                "c_type": "Job Type",
+                "c_pref": "Type of Job",
+                "c_company": "Company Name",
+            },
+            level=None,
+            partition=None,
+        )
+        repairs = resolve_homonyms(solution, relation, comparator)
+        assert len(repairs) == 1
+        assert solution.labels["c_pref"] == "Employment Type"
+        assert solution.labels["c_type"] == "Job Type"
+        repair = repairs[0]
+        assert repair.old_label_b == "Type of Job"
+        assert repair.new_label_b == "Employment Type"
+        assert repair.source_interface == "careers"
+
+    def test_no_repair_row_leaves_solution_untouched(self, comparator):
+        rows = {
+            "only": {"c_type": "Job Type", "c_pref": "Type of Job"},
+        }
+        __, mapping = build_group_corpus(rows, ["c_type", "c_pref"])
+        group = regular_group(["c_type", "c_pref"], "g")
+        relation = GroupRelation.from_mapping(group, mapping)
+        solution = GroupSolution(
+            group=group,
+            labels={"c_type": "Job Type", "c_pref": "Type of Job"},
+            level=None,
+            partition=None,
+        )
+        repairs = resolve_homonyms(solution, relation, comparator)
+        assert repairs == []
+        assert solution.labels["c_pref"] == "Type of Job"
+
+    def test_repair_terminates_on_clean_solution(self, comparator):
+        relation, group = _job_relation()
+        solution = GroupSolution(
+            group=group,
+            labels={
+                "c_options": "Position Options",
+                "c_type": "Job Type",
+                "c_pref": "Employment Type",
+                "c_company": "Company Name",
+            },
+            level=None,
+            partition=None,
+        )
+        assert resolve_homonyms(solution, relation, comparator) == []

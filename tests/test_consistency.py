@@ -1,0 +1,279 @@
+"""Definitions 2-4: consistency levels, Combine/Combine*, partitions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.consistency import (
+    ConsistencyLevel,
+    combine,
+    combine_closure,
+    covering_partitions,
+    find_partitions,
+    solutions_of_partition,
+    tuples_consistent,
+)
+from repro.core.group_relation import GroupRelation, GroupTuple
+
+from .conftest import regular_group
+
+CLUSTERS = ("c1", "c2", "c3")
+
+
+def row(interface, *labels, clusters=CLUSTERS):
+    return GroupTuple(interface=interface, labels=tuple(labels), clusters=clusters)
+
+
+class TestTuplesConsistent:
+    def test_string_level_needs_identical_labels(self, comparator):
+        s = row("a", "Adults", "Children", None)
+        t = row("b", "Adults", None, "Infants")
+        assert tuples_consistent(s, t, ConsistencyLevel.STRING, comparator)
+
+    def test_no_shared_non_null_cluster(self, comparator):
+        s = row("a", "Adults", None, None)
+        t = row("b", None, "Children", None)
+        assert not tuples_consistent(s, t, ConsistencyLevel.SYNONYMY, comparator)
+
+    def test_equality_level(self, comparator):
+        # Table 4: Preferred Airline / Airline Preference.
+        s = row("a", "Preferred Airline", None, None)
+        t = row("b", "Airline Preference", None, None)
+        assert not tuples_consistent(s, t, ConsistencyLevel.STRING, comparator)
+        assert tuples_consistent(s, t, ConsistencyLevel.EQUALITY, comparator)
+
+    def test_synonymy_level(self, comparator):
+        s = row("a", "Area of Study", None, None)
+        t = row("b", "Field of Work", None, None)
+        assert not tuples_consistent(s, t, ConsistencyLevel.EQUALITY, comparator)
+        assert tuples_consistent(s, t, ConsistencyLevel.SYNONYMY, comparator)
+
+    def test_levels_are_cumulative(self, comparator):
+        s = row("a", "Adults", None, None)
+        t = row("b", "Adults", None, None)
+        for level in ConsistencyLevel:
+            assert tuples_consistent(s, t, level, comparator)
+
+    def test_cluster_restriction(self, comparator):
+        s = row("a", "Adults", "X", None)
+        t = row("b", "Adults", "Y", None)
+        assert not tuples_consistent(
+            s, t, ConsistencyLevel.STRING, comparator, clusters=("c2",)
+        )
+        assert tuples_consistent(
+            s, t, ConsistencyLevel.STRING, comparator, clusters=("c1",)
+        )
+
+
+class TestCombine:
+    def test_definition_3(self):
+        r = row("r", "A", None, "C")
+        s = row("s", "A2", "B", None)
+        merged = combine(r, s)
+        # Non-null components of r win; s fills r's nulls.
+        assert merged.labels == ("A", "B", "C")
+
+    def test_requires_same_clusters(self):
+        r = row("r", "A", None, "C")
+        s = GroupTuple("s", ("A",), ("cX",))
+        with pytest.raises(ValueError):
+            combine(r, s)
+
+    def test_arity_guard(self):
+        with pytest.raises(ValueError):
+            GroupTuple("x", ("A",), CLUSTERS)
+
+
+class TestGroupTuple:
+    def test_projection(self):
+        t = row("x", "A", "B", None)
+        projected = t.project(("c3", "c1"))
+        assert projected.labels == (None, "A")
+        assert projected.clusters == ("c3", "c1")
+
+    def test_non_null_accounting(self):
+        t = row("x", "A", None, "C")
+        assert t.non_null_clusters() == {"c1", "c3"}
+        assert t.non_null_count() == 2
+        assert not t.is_complete()
+        assert row("y", "A", "B", "C").is_complete()
+
+
+class TestPartitions:
+    def test_figure4_partition(self, comparator, table2_corpus):
+        """Figure 4: {aa, british, economytravel, vacations} vs
+        {airfareplanet, airtravel} at the string level."""
+        interfaces, mapping, group = table2_corpus
+        relation = GroupRelation.from_mapping(group, mapping)
+        partitions = find_partitions(relation, ConsistencyLevel.STRING, comparator)
+        members = sorted(
+            tuple(sorted(t.interface for t in p.tuples)) for p in partitions
+        )
+        assert members == [
+            ("aa", "british", "economytravel", "vacations"),
+            ("airfareplanet", "airtravel"),
+        ]
+
+    def test_proposition_1_positive(self, comparator, table2_corpus):
+        interfaces, mapping, group = table2_corpus
+        relation = GroupRelation.from_mapping(group, mapping)
+        partitions, covering = covering_partitions(
+            relation, ConsistencyLevel.STRING, comparator
+        )
+        assert len(covering) == 1
+        solutions = solutions_of_partition(
+            covering[0], relation.clusters, comparator
+        )
+        expected = ("Seniors", "Adults", "Children", "Infants")
+        assert any(t.labels == expected for t in solutions)
+
+    def test_proposition_1_negative(self, comparator, table3_corpus):
+        """Table 3: no partition links {State, City} with {Zip, Distance}."""
+        interfaces, mapping, group = table3_corpus
+        relation = GroupRelation.from_mapping(group, mapping)
+        __, covering = covering_partitions(
+            relation, ConsistencyLevel.SYNONYMY, comparator
+        )
+        assert covering == []
+
+    def test_partitions_form_a_partition(self, comparator, table4_corpus):
+        interfaces, mapping, group = table4_corpus
+        relation = GroupRelation.from_mapping(group, mapping)
+        for level in ConsistencyLevel:
+            partitions = find_partitions(relation, level, comparator)
+            seen = [t.interface for p in partitions for t in p.tuples]
+            assert sorted(seen) == sorted(t.interface for t in relation.tuples)
+
+
+class TestCombineClosure:
+    def test_generates_complete_tuples(self, comparator):
+        rows = [
+            row("a", "X", "Y", None),
+            row("b", "X", None, "Z"),
+        ]
+        closure = combine_closure(rows, ConsistencyLevel.STRING, comparator)
+        complete = [t for t in closure if t.is_complete()]
+        assert complete and complete[0].labels == ("X", "Y", "Z")
+
+    def test_deduplicates_by_value(self, comparator):
+        rows = [row("a", "X", None, None), row("b", "X", None, None)]
+        closure = combine_closure(rows, ConsistencyLevel.STRING, comparator)
+        assert len(closure) == 1
+
+    def test_limit_respected(self, comparator):
+        rows = [
+            row(f"i{k}", "X", f"b{k}", None) for k in range(6)
+        ]
+        closure = combine_closure(
+            rows, ConsistencyLevel.STRING, comparator, limit=10
+        )
+        assert len(closure) <= 10
+
+    def test_inconsistent_rows_never_combined(self, comparator):
+        rows = [row("a", "X", None, None), row("b", None, "Y", None)]
+        closure = combine_closure(rows, ConsistencyLevel.SYNONYMY, comparator)
+        assert all(t.non_null_count() == 1 for t in closure)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["A", "B", None]),
+            st.sampled_from(["P", "Q", None]),
+            st.sampled_from(["X", None]),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_closure_tuples_only_grow(comparator, label_rows):
+    rows = [
+        GroupTuple(f"i{k}", labels, CLUSTERS)
+        for k, labels in enumerate(label_rows)
+        if any(v is not None for v in labels)
+    ]
+    if not rows:
+        return
+    closure = combine_closure(rows, ConsistencyLevel.STRING, comparator)
+    base = min(t.non_null_count() for t in rows)
+    assert all(t.non_null_count() >= base for t in closure)
+    # Every closure tuple's labels come from the original rows, column-wise.
+    for t in closure:
+        for i, value in enumerate(t.labels):
+            if value is not None:
+                assert value in {r.labels[i] for r in rows}
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["Adults", "Adult", "Number of Adults", None]),
+            st.sampled_from(["Class", "Class of Ticket", "Flight Class", None]),
+            st.sampled_from(
+                ["Preferred Airline", "Airline Preference", "Airline", None]
+            ),
+        ),
+        min_size=1,
+        max_size=7,
+    )
+)
+def test_stronger_levels_refine_weaker_partitions(comparator, label_rows):
+    """Definition 2's ladder is cumulative, so the partition at a weaker
+    (lower) level refines the partition at a stronger (higher) one: rows
+    connected at STRING stay connected at SYNONYMY."""
+    rows = [
+        GroupTuple(f"i{k}", labels, CLUSTERS)
+        for k, labels in enumerate(label_rows)
+        if any(v is not None for v in labels)
+    ]
+    if len(rows) < 2:
+        return
+    relation = GroupRelation(regular_group(list(CLUSTERS)), rows)
+
+    def components(level):
+        partitions = find_partitions(relation, level, comparator)
+        return [
+            frozenset(t.interface for t in p.tuples) for p in partitions
+        ]
+
+    weaker = components(ConsistencyLevel.STRING)
+    for stronger_level in (ConsistencyLevel.EQUALITY, ConsistencyLevel.SYNONYMY):
+        stronger = components(stronger_level)
+        # Every STRING-level component is contained in one component of the
+        # more permissive level.
+        for component in weaker:
+            assert any(component <= bigger for bigger in stronger)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["A", "B", None]),
+            st.sampled_from(["P", None]),
+            st.sampled_from(["X", "Y", None]),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_covering_partition_iff_complete_solution(comparator, label_rows):
+    """Proposition 1, both directions, on random relations."""
+    rows = [
+        GroupTuple(f"i{k}", labels, CLUSTERS)
+        for k, labels in enumerate(label_rows)
+        if any(v is not None for v in labels)
+    ]
+    if not rows:
+        return
+    relation = GroupRelation(regular_group(list(CLUSTERS)), rows)
+    partitions, covering = covering_partitions(
+        relation, ConsistencyLevel.STRING, comparator
+    )
+    complete = []
+    for partition in partitions:
+        complete.extend(
+            solutions_of_partition(partition, relation.clusters, comparator)
+        )
+    assert bool(covering) == bool(complete)

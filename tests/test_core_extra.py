@@ -1,0 +1,162 @@
+"""Deeper core coverage: semantics properties, pipeline options end to end,
+result diagnostics, metric edge cases."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.consistency import ConsistencyLevel
+from repro.core.inference import InferenceRule
+from repro.core.metrics import (
+    fields_consistency_accuracy,
+    internal_nodes_accuracy,
+    labeling_quality,
+)
+from repro.core.pipeline import NamingOptions, label_integrated_interface
+from repro.core.result import LabelingResult
+from repro.datasets import load_domain
+from repro.schema.groups import GroupPartition
+from repro.schema.interface import QueryInterface, make_field, make_group
+from repro.schema.tree import SchemaNode
+
+_LABEL_POOL = [
+    "Adults", "Adult", "Number of Adults", "Class", "Class of Ticket",
+    "Preferred Airline", "Airline Preference", "From", "To", "Price",
+    "Area of Study", "Field of Work", "Make", "Brand", "Zip Code",
+]
+
+
+class TestSemanticsProperties:
+    @given(st.sampled_from(_LABEL_POOL), st.sampled_from(_LABEL_POOL))
+    def test_similar_is_symmetric(self, comparator, a, b):
+        assert comparator.similar(a, b) == comparator.similar(b, a)
+
+    @given(st.sampled_from(_LABEL_POOL))
+    def test_every_label_similar_to_itself(self, comparator, a):
+        assert comparator.similar(a, a)
+        assert comparator.at_least_as_general(a, a)
+
+    @given(st.sampled_from(_LABEL_POOL), st.sampled_from(_LABEL_POOL))
+    def test_hypernym_hyponym_duality(self, comparator, a, b):
+        assert comparator.hypernym(a, b) == comparator.hyponym(b, a)
+
+    @given(st.sampled_from(_LABEL_POOL), st.sampled_from(_LABEL_POOL))
+    def test_string_equal_implies_equal_or_empty(self, comparator, a, b):
+        if comparator.string_equal(a, b):
+            assert comparator.equal(a, b) or not comparator.analyzer.label(a).stems
+
+    @given(st.sampled_from(_LABEL_POOL), st.sampled_from(_LABEL_POOL))
+    def test_hypernym_never_with_equal(self, comparator, a, b):
+        # The relations of Definition 1 are mutually exclusive by strength.
+        if comparator.equal(a, b):
+            assert not comparator.hypernym(a, b)
+            assert not comparator.synonym(a, b)
+
+
+class TestPipelineOptionsEndToEnd:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        ds = load_domain("airline", seed=0)
+        ds.prepare()
+        return ds
+
+    def _run(self, dataset, **kwargs):
+        from repro.core.semantics import SemanticComparator
+
+        root = dataset.integrated().copy()
+        # Re-resolve mapping onto the copied tree is unnecessary: naming
+        # reads clusters from the copy's leaves and labels in the mapping.
+        return label_integrated_interface(
+            root,
+            dataset.interfaces,
+            dataset.mapping,
+            SemanticComparator(),
+            options=NamingOptions(**kwargs),
+        )
+
+    def test_max_level_string_weakens_results(self, dataset):
+        full = self._run(dataset)
+        truncated = self._run(dataset, max_level=ConsistencyLevel.STRING)
+        full_consistent = sum(1 for r in full.group_results.values() if r.consistent)
+        truncated_consistent = sum(
+            1 for r in truncated.group_results.values() if r.consistent
+        )
+        assert truncated_consistent <= full_consistent
+
+    def test_disable_all_rules_kills_candidates(self, dataset):
+        result = self._run(dataset, enabled_rules=frozenset())
+        # With every inference rule off, only single-source exact coverage
+        # can label internal nodes; far fewer get labels.
+        baseline = self._run(dataset)
+        labeled = sum(1 for l in result.node_labels.values() if l)
+        baseline_labeled = sum(1 for l in baseline.node_labels.values() if l)
+        assert labeled <= baseline_labeled
+
+    def test_use_instances_false_disables_li6_li7(self, dataset):
+        result = self._run(dataset, use_instances=False)
+        assert result.inference_log.counts.get(InferenceRule.LI6, 0) == 0
+        assert result.inference_log.counts.get(InferenceRule.LI7, 0) == 0
+
+
+class TestMetricsEdgeCases:
+    def test_empty_tree_metrics(self):
+        root = SchemaNode(None, name="r")
+        result = LabelingResult(root=root, partition=GroupPartition([], None, []))
+        assert fields_consistency_accuracy(result) == 1.0
+        assert internal_nodes_accuracy(result) == 1.0
+
+    def test_labeling_quality_empty_interface_list(self):
+        assert labeling_quality([]) == 1.0
+
+    def test_labeling_quality_single_unlabeled_field(self):
+        qi = QueryInterface(
+            "q", SchemaNode(None, [make_field(None, name="f")], name="r")
+        )
+        assert qi.labeling_quality() == 0.0
+
+    def test_unlabeled_field_with_instances_excused(self, comparator):
+        interfaces = []
+        from repro.schema.clusters import Mapping
+
+        mapping = Mapping()
+        field = make_field(None, instances=("a", "b"), name="s:f")
+        mapping.assign("c_x", "s", field)
+        interfaces.append(
+            QueryInterface(
+                "s",
+                SchemaNode(None, [make_group(None, [field], name="s:g")], name="s:r"),
+            )
+        )
+        leaf = SchemaNode(None, cluster="c_x", instances=("a", "b"), name="leaf")
+        root = SchemaNode(None, [SchemaNode(None, [leaf], name="g")], name="r")
+        result = label_integrated_interface(root, interfaces, mapping, comparator)
+        assert result.field_labels["c_x"] is None
+        assert fields_consistency_accuracy(result) == 1.0
+
+
+class TestResultDiagnostics:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro import run_domain
+
+        return run_domain("realestate", seed=0).labeling
+
+    def test_summary_mentions_counts(self, result):
+        summary = result.summary()
+        assert "fields labeled" in summary
+        assert "inference applications" in summary
+
+    def test_label_accessors(self, result):
+        for cluster, label in result.field_labels.items():
+            assert result.label_of_cluster(cluster) == label
+        for node_name, label in result.node_labels.items():
+            assert result.label_of_node(node_name) == label
+
+    def test_internal_nodes_excludes_root(self, result):
+        assert result.root not in result.internal_nodes()
+
+    def test_statuses_cover_all_internal_nodes(self, result):
+        names = {n.name for n in result.internal_nodes()}
+        assert names == set(result.node_status)

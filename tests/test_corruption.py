@@ -1,0 +1,66 @@
+"""Mapping corruption: the matcher-error injector (repro.datasets.corruption)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_domain
+from repro.datasets.corruption import corrupt_mapping
+
+
+@pytest.fixture()
+def prepared():
+    dataset = load_domain("auto", seed=0)
+    dataset.prepare()
+    return dataset
+
+
+class TestCorruptMapping:
+    def test_zero_rates_preserve_structure(self, prepared):
+        corrupted = corrupt_mapping(prepared.mapping, 0.0, 0.0, seed=1)
+        original = {
+            c.name: set(c.members) for c in prepared.mapping.clusters
+        }
+        copied = {c.name: set(c.members) for c in corrupted.clusters}
+        assert copied == original
+
+    def test_split_increases_cluster_count(self, prepared):
+        corrupted = corrupt_mapping(prepared.mapping, split_rate=0.3, seed=1)
+        assert len(corrupted) > len(prepared.mapping)
+        corrupted.validate_one_to_one()
+
+    def test_merge_decreases_cluster_count(self, prepared):
+        corrupted = corrupt_mapping(prepared.mapping, merge_rate=0.4, seed=1)
+        assert len(corrupted) <= len(prepared.mapping)
+        corrupted.validate_one_to_one()
+
+    def test_no_member_lost(self, prepared):
+        corrupted = corrupt_mapping(prepared.mapping, 0.25, 0.25, seed=2)
+        before = {
+            id(node)
+            for c in prepared.mapping.clusters
+            for node in c.members.values()
+        }
+        after = {
+            id(node) for c in corrupted.clusters for node in c.members.values()
+        }
+        assert after == before
+
+    def test_deterministic(self, prepared):
+        def snapshot(mapping):
+            return {
+                c.name: sorted(c.members) for c in mapping.clusters
+            }
+
+        a = corrupt_mapping(prepared.mapping, 0.2, 0.2, seed=7)
+        # Re-prepare a fresh dataset: corruption re-points node.cluster.
+        fresh = load_domain("auto", seed=0)
+        fresh.prepare()
+        b = corrupt_mapping(fresh.mapping, 0.2, 0.2, seed=7)
+        assert snapshot(a) == snapshot(b)
+
+    def test_nodes_repointed_to_corrupted_clusters(self, prepared):
+        corrupted = corrupt_mapping(prepared.mapping, split_rate=0.3, seed=3)
+        for cluster in corrupted.clusters:
+            for node in cluster.members.values():
+                assert node.cluster == cluster.name

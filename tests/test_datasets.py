@@ -1,0 +1,166 @@
+"""Synthetic corpus: determinism, catalog validation, structural sanity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import DOMAINS, domain_spec, load_all_domains, load_domain
+from repro.datasets.catalog import (
+    Concept,
+    DomainSpec,
+    GroupSpec,
+    SuperGroupSpec,
+    variants,
+)
+from repro.datasets.generator import generate_domain
+from repro.schema.serialize import interface_to_dict, mapping_to_dict
+
+
+class TestRegistry:
+    def test_seven_domains_in_paper_order(self):
+        assert list(DOMAINS) == [
+            "airline", "auto", "book", "job", "realestate", "carrental", "hotels"
+        ]
+
+    def test_unknown_domain_raises_with_hint(self):
+        with pytest.raises(KeyError, match="known domains"):
+            domain_spec("warehouse")
+
+    def test_interface_counts_match_table6(self):
+        counts = {name: domain_spec(name).interface_count for name in DOMAINS}
+        assert counts["hotels"] == 30
+        assert all(v == 20 for k, v in counts.items() if k != "hotels")
+
+    def test_all_specs_validate(self):
+        for name in DOMAINS:
+            domain_spec(name).validate()
+
+
+class TestDeterminism:
+    def test_same_seed_identical_corpus(self):
+        a = load_domain("airline", seed=3)
+        b = load_domain("airline", seed=3)
+        assert [interface_to_dict(q) for q in a.interfaces] == [
+            interface_to_dict(q) for q in b.interfaces
+        ]
+        assert mapping_to_dict(a.mapping) == mapping_to_dict(b.mapping)
+
+    def test_seed_changes_corpus(self):
+        a = load_domain("airline", seed=3)
+        b = load_domain("airline", seed=4)
+        assert [interface_to_dict(q) for q in a.interfaces] != [
+            interface_to_dict(q) for q in b.interfaces
+        ]
+
+
+class TestGeneratedShape:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return load_all_domains(seed=0)
+
+    def test_interface_counts(self, corpus):
+        for name, dataset in corpus.items():
+            expected = 30 if name == "hotels" else 20
+            assert len(dataset.interfaces) == expected
+
+    def test_every_interface_has_fields_and_validates(self, corpus):
+        for dataset in corpus.values():
+            for interface in dataset.interfaces:
+                assert interface.leaf_count() >= 1
+                interface.root.validate()
+
+    def test_mapping_members_are_tree_nodes(self, corpus):
+        for dataset in corpus.values():
+            by_name = {qi.name: qi for qi in dataset.interfaces}
+            for cluster in dataset.mapping.clusters:
+                for interface_name, node in cluster.members.items():
+                    found = by_name[interface_name].root.find_by_name(node.name)
+                    assert found is node
+
+    def test_airline_contains_collapsed_passengers(self, corpus):
+        """The 1:m granularity mismatch of Figure 2 is exercised."""
+        dataset = corpus["airline"]
+        dataset.prepare()
+        assert any(
+            record.field_label == "Passengers" for record in dataset.mapping.expansions
+        )
+
+    def test_prepare_is_idempotent(self, corpus):
+        dataset = corpus["auto"]
+        dataset.prepare()
+        before = len(dataset.mapping.expansions)
+        dataset.prepare()
+        assert len(dataset.mapping.expansions) == before
+
+    def test_integrated_cached(self, corpus):
+        dataset = corpus["job"]
+        assert dataset.integrated() is dataset.integrated()
+
+    def test_source_stats_near_table6(self, corpus):
+        """Loose bands around Table 6 columns 2 and 5."""
+        expectations = {
+            "airline": (8, 14, 0.45, 0.75),
+            "auto": (4, 8, 0.70, 0.95),
+            "book": (4, 8, 0.70, 0.95),
+            "job": (3, 7, 0.70, 0.97),
+            "realestate": (4, 9, 0.70, 0.95),
+            "carrental": (7, 14, 0.40, 0.70),
+            "hotels": (5, 11, 0.55, 0.85),
+        }
+        for name, (lo, hi, lq_lo, lq_hi) in expectations.items():
+            dataset = corpus[name]
+            avg = sum(q.leaf_count() for q in dataset.interfaces) / len(
+                dataset.interfaces
+            )
+            lq = sum(q.labeling_quality() for q in dataset.interfaces) / len(
+                dataset.interfaces
+            )
+            assert lo <= avg <= hi, (name, avg)
+            assert lq_lo <= lq <= lq_hi, (name, lq)
+
+
+class TestCatalogValidation:
+    def test_duplicate_concepts_rejected(self):
+        concept = Concept("c_x", variants("X"))
+        spec = DomainSpec(
+            name="dup",
+            interface_count=1,
+            groups=(GroupSpec("g1", (concept,)), GroupSpec("g2", (concept,))),
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            spec.validate()
+
+    def test_supergroup_unknown_member_rejected(self):
+        spec = DomainSpec(
+            name="bad",
+            interface_count=1,
+            groups=(GroupSpec("g1", (Concept("c_x", variants("X")),)),),
+            supergroups=(SuperGroupSpec("sg", ("ghost",)),),
+        )
+        with pytest.raises(ValueError, match="unknown groups"):
+            spec.validate()
+
+    def test_concept_requires_variants(self):
+        with pytest.raises(ValueError):
+            Concept("c_x", ())
+
+    def test_generation_validates_spec(self):
+        concept = Concept("c_x", variants("X"))
+        spec = DomainSpec(
+            name="dup2",
+            interface_count=1,
+            groups=(GroupSpec("g1", (concept,)), GroupSpec("g2", (concept,))),
+        )
+        with pytest.raises(ValueError):
+            generate_domain(spec)
+
+    def test_group_helpers(self):
+        group = GroupSpec(
+            "g", (Concept("c_a", variants("A")), Concept("c_b", variants("B")))
+        )
+        assert group.cluster_names() == ("c_a", "c_b")
+        spec = DomainSpec(name="s", interface_count=1, groups=(group,))
+        assert spec.group_by_key("g") is group
+        with pytest.raises(KeyError):
+            spec.group_by_key("missing")
+        assert len(spec.all_concepts()) == 2

@@ -1,0 +1,158 @@
+"""Per-domain catalog contracts: each planted paper construct is present.
+
+The evaluation story of EXPERIMENTS.md depends on specific constructs being
+part of each domain's catalog; these tests keep catalog edits honest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import domain_spec
+
+
+def _concept(spec, key):
+    for concept in spec.all_concepts():
+        if concept.key == key:
+            return concept
+    raise AssertionError(f"{spec.name}: concept {key} missing")
+
+
+def _group(spec, key):
+    return spec.group_by_key(key)
+
+
+class TestAirline:
+    spec = staticmethod(lambda: domain_spec("airline"))
+
+    def test_passengers_collapse(self):
+        """The 1:m Passengers field of Figure 2."""
+        group = _group(self.spec(), "g_passengers")
+        assert group.collapse_label == "Passengers"
+        assert group.collapse_prob > 0
+
+    def test_table4_service_vocabulary(self):
+        spec = self.spec()
+        stops = _concept(spec, "c_stops")
+        texts = {v.text for v in stops.variants}
+        assert {"Number of Connections", "Max. Number of Stops"} <= texts
+        airline = _concept(spec, "c_airline")
+        texts = {v.text for v in airline.variants}
+        assert {"Airline Preference", "Preferred Airline"} <= texts
+
+    def test_figure9_class_vocabulary(self):
+        ticket = _concept(self.spec(), "c_ticket_class")
+        assert ticket.instances  # carries the cabin domain for LI6
+
+    def test_frequency_one_award_group(self):
+        """The paper's airline blemish: a once-occurring unlabeled group
+        whose fields carry instances."""
+        group = _group(self.spec(), "g_award")
+        assert group.prevalence < 0.15
+        for concept in group.concepts:
+            assert concept.unlabeled_prob == 1.0
+            assert concept.instances and concept.instance_prob == 1.0
+
+    def test_confusing_return_group(self):
+        group = _group(self.spec(), "g_return_route")
+        assert group.prevalence <= 0.25  # low-frequency, per the survey
+
+
+class TestAuto:
+    def test_table3_location_styles_disjoint(self):
+        """State/City and Zip/Distance populations never mix."""
+        spec = domain_spec("auto")
+        state = _concept(spec, "c_state")
+        zip_code = _concept(spec, "c_zip")
+        assert state.styles and zip_code.styles
+        assert not set(state.styles) & set(zip_code.styles)
+
+    def test_car_information_supergroup(self):
+        spec = domain_spec("auto")
+        supergroup = next(s for s in spec.supergroups if s.key == "sg_car")
+        assert {"g_car_model", "g_year"} <= set(supergroup.members)
+        assert any("Car Information" == v.text for v in supergroup.labels)
+
+    def test_keyword_concept_for_li5(self):
+        _concept(domain_spec("auto"), "c_keyword")
+
+
+class TestBook:
+    def test_value_as_label_trap(self):
+        """'Hardcover' leaks into c_format's label variants (LI7)."""
+        concept = _concept(domain_spec("book"), "c_format")
+        texts = {v.text for v in concept.variants}
+        assert "Hardcover" in texts
+        assert "Hardcover" in concept.instances
+
+
+class TestJob:
+    def test_flat_domain(self):
+        spec = domain_spec("job")
+        assert len(spec.groups) == 1
+        assert len(spec.root_concepts) >= 12
+
+    def test_homonym_seed(self):
+        """c_job_category can be spelled 'Job Type' — the 4.2.3 conflict."""
+        category = _concept(domain_spec("job"), "c_job_category")
+        assert any(v.text == "Job Type" for v in category.variants)
+        job_type = _concept(domain_spec("job"), "c_job_type")
+        assert any(v.text == "Employment Type" for v in job_type.variants)
+
+    def test_most_general_candidates_present(self):
+        """Section 3.2.1's {Category, Job Category, Area of Work, Function}."""
+        category = _concept(domain_spec("job"), "c_job_category")
+        texts = {v.text for v in category.variants}
+        assert {"Category", "Job Category", "Area of Work", "Function"} <= texts
+
+
+class TestRealEstate:
+    def test_lease_rate_unlabelable_field(self):
+        group = _group(domain_spec("realestate"), "g_lease")
+        lease_from = group.concepts[0]
+        assert lease_from.unlabeled_prob == 1.0
+
+    def test_isolated_garage(self):
+        group = _group(domain_spec("realestate"), "g_garage")
+        assert len(group.concepts) == 1
+        assert group.concepts[0].instances  # LI6 material
+
+    def test_features_supergroup(self):
+        spec = domain_spec("realestate")
+        features = next(s for s in spec.supergroups if s.key == "sg_features")
+        assert {"g_units", "g_acreage"} <= set(features.members)
+
+
+class TestCarRental:
+    def test_synonymy_level_rate_group(self):
+        spec = domain_spec("carrental")
+        rate_max = _concept(spec, "c_rate_max")
+        texts = {v.text for v in rate_max.variants}
+        assert {"Max Rate", "Maximum Price"} <= texts
+        rate_min = _concept(spec, "c_rate_min")
+        currency = _concept(spec, "c_currency")
+        assert rate_min.styles and currency.styles
+        assert not set(rate_min.styles) & set(currency.styles)
+
+    def test_chain_jargon_fields(self):
+        spec = domain_spec("carrental")
+        for key in ("c_hertz_gold_no", "c_avis_wizard_no"):
+            concept = _concept(spec, key)
+            assert concept.prevalence < 0.1
+
+
+class TestHotels:
+    def test_wyndham_field(self):
+        concept = _concept(domain_spec("hotels"), "c_wyndham_byrequest")
+        assert concept.prevalence <= 0.15
+        assert concept.variants[0].text == "Wyndham ByRequest No"
+
+    def test_redundant_nights_field(self):
+        """check-in/check-out + nights: the survey's redundancy comment."""
+        spec = domain_spec("hotels")
+        dates = _group(spec, "g_dates")
+        keys = {c.key for c in dates.concepts}
+        assert {"c_checkin", "c_checkout", "c_nights"} <= keys
+
+    def test_thirty_interfaces(self):
+        assert domain_spec("hotels").interface_count == 30

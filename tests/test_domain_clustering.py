@@ -1,0 +1,90 @@
+"""Domain clustering — interfaces sorted into classes (the [18] substrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_domain
+from repro.matching import cluster_interfaces, interface_vocabulary
+from repro.core.label import LabelAnalyzer
+from repro.schema.interface import QueryInterface, make_field, make_group
+from repro.schema.tree import SchemaNode
+
+
+def _qi(name, labels):
+    nodes = [make_field(l, name=f"{name}:{i}") for i, l in enumerate(labels)]
+    return QueryInterface(
+        name, SchemaNode(None, [make_group(None, nodes, name=f"{name}:g")],
+                         name=f"{name}:r")
+    )
+
+
+class TestVocabulary:
+    def test_counts_labels_and_instances(self, analyzer):
+        qi = _qi("a", ["Departure City", "Arrival City"])
+        qi.fields()[0].instances = ("New York", "Paris")
+        vocabulary = interface_vocabulary(qi, analyzer)
+        assert vocabulary["citi"] == 2
+        assert vocabulary["pari"] == 1 or "pari" in vocabulary or "paris" in vocabulary
+
+    def test_unlabeled_nodes_skipped(self, analyzer):
+        qi = _qi("a", [None, "Price"])
+        vocabulary = interface_vocabulary(qi, analyzer)
+        assert set(vocabulary) == {"price"}
+
+
+class TestClusterInterfaces:
+    def test_two_obvious_domains(self):
+        airline = [
+            _qi("air1", ["Departure City", "Arrival City", "Airline", "Flight Class"]),
+            _qi("air2", ["Departing from", "Going to", "Airline Preference",
+                         "Class of Ticket"]),
+            _qi("air3", ["Departure City", "Destination", "Preferred Airline"]),
+        ]
+        books = [
+            _qi("book1", ["Author", "Book Title", "ISBN", "Publisher"]),
+            _qi("book2", ["Author Name", "Title", "ISBN Number", "Format"]),
+        ]
+        clusters = cluster_interfaces([*airline, *books])
+        assert len(clusters) == 2
+        groups = sorted(sorted(c.names()) for c in clusters)
+        assert groups == [["air1", "air2", "air3"], ["book1", "book2"]]
+
+    def test_singleton_for_the_odd_one_out(self):
+        clusters = cluster_interfaces([
+            _qi("a", ["Author", "Title", "Publisher"]),
+            _qi("b", ["Author", "Book Title", "ISBN"]),
+            _qi("weird", ["Quantum Flux", "Warp Factor"]),
+        ])
+        sizes = sorted(len(c) for c in clusters)
+        assert sizes == [1, 2]
+
+    def test_top_terms_characterize_domain(self):
+        clusters = cluster_interfaces([
+            _qi("a", ["Author", "Title", "Publisher"]),
+            _qi("b", ["Author", "Title", "ISBN"]),
+        ])
+        assert any(
+            stem.startswith(("author", "titl")) for stem in clusters[0].top_terms()
+        )
+
+    def test_empty_input(self):
+        assert cluster_interfaces([]) == []
+
+    def test_generated_domains_stay_separate(self):
+        """Interfaces sampled from two catalog domains re-separate."""
+        auto = load_domain("auto", seed=0).interfaces[:6]
+        job = load_domain("job", seed=0).interfaces[:6]
+        clusters = cluster_interfaces([*auto, *job])
+        # The two largest clusters must be domain-pure.
+        for cluster in clusters[:2]:
+            prefixes = {name.split("-")[0] for name in cluster.names()}
+            assert len(prefixes) == 1
+
+    def test_threshold_one_splits_everything(self):
+        interfaces = [
+            _qi("a", ["Author", "Title"]),
+            _qi("b", ["Author", "Title"]),
+        ]
+        clusters = cluster_interfaces(interfaces, threshold=1.01)
+        assert len(clusters) == 2

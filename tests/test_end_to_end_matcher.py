@@ -1,0 +1,95 @@
+"""End-to-end without ground truth: matcher-recovered mappings.
+
+The paper assumes the mapping as input; a deployed system would use a
+matcher.  These tests run the generated corpora through
+``match_interfaces`` instead of the ground truth and check the pipeline
+still produces sane, mostly-correct integrated interfaces — plus measure
+how close the recovered mapping is to the truth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import label_integrated_interface
+from repro.core.semantics import SemanticComparator
+from repro.datasets import load_domain
+from repro.matching import match_interfaces
+from repro.merge import merge_interfaces
+
+
+def _matcher_run(domain: str):
+    # Fresh corpus: the matcher writes cluster names onto the field nodes.
+    dataset = load_domain(domain, seed=0)
+    truth = {
+        cluster.name: {
+            (interface, node.name) for interface, node in cluster.members.items()
+        }
+        for cluster in load_domain(domain, seed=0).mapping.clusters
+    }
+    comparator = SemanticComparator()
+    mapping = match_interfaces(dataset.interfaces, comparator)
+    mapping.expand_one_to_many(dataset.interfaces)
+    root = merge_interfaces(dataset.interfaces, mapping)
+    result = label_integrated_interface(
+        root, dataset.interfaces, mapping, comparator
+    )
+    return dataset, truth, mapping, root, result
+
+
+@pytest.fixture(scope="module")
+def job_run():
+    return _matcher_run("job")
+
+
+class TestMatcherEndToEnd:
+    def test_pipeline_labels_every_matchable_field(self, job_run):
+        """Fields the matcher could see (labeled somewhere) all get named;
+        unlabeled instance-less fields are unmatchable by construction and
+        come through as unnamed singletons — a real matcher limitation the
+        paper sidesteps by assuming the mapping."""
+        __, __, mapping, root, result = job_run
+        for cluster_name, label in result.field_labels.items():
+            if cluster_name in mapping and mapping[cluster_name].labels():
+                assert label is not None, cluster_name
+
+    def test_recovered_clusters_not_wildly_off(self, job_run):
+        """Labeled-cluster count lands near the truth's (variants that share
+        no lexical relation split — Category vs Function — so some excess
+        over the truth is expected)."""
+        dataset, truth, mapping, __, __ = job_run
+        labeled_clusters = sum(1 for c in mapping.clusters if c.labels())
+        truth_count = len(truth)
+        assert 0.6 * truth_count <= labeled_clusters <= 1.8 * truth_count
+
+    def test_pairwise_precision(self, job_run):
+        """Pairs the matcher puts together are mostly truly equivalent."""
+        dataset, truth, mapping, __, __ = job_run
+        item_to_truth = {}
+        for cluster_name, items in truth.items():
+            for item in items:
+                item_to_truth[item] = cluster_name
+        correct = 0
+        total = 0
+        for cluster in mapping.clusters:
+            members = [
+                (interface, node.name)
+                for interface, node in cluster.members.items()
+            ]
+            for i, a in enumerate(members):
+                for b in members[i + 1 :]:
+                    # Expanded 1:m children may not exist in the
+                    # truth snapshot; skip unknowns.
+                    if a not in item_to_truth or b not in item_to_truth:
+                        continue
+                    total += 1
+                    if item_to_truth[a] == item_to_truth[b]:
+                        correct += 1
+        if total:
+            assert correct / total >= 0.9
+
+    def test_tree_is_wellformed(self, job_run):
+        __, __, __, root, __ = job_run
+        root.validate()
+        clusters = [leaf.cluster for leaf in root.leaves()]
+        assert len(clusters) == len(set(clusters))

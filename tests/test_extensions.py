@@ -1,0 +1,117 @@
+"""Concept-hierarchy integration (the Section-9 extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.extensions import ConceptHierarchy, integrate_hierarchies
+from repro.schema.interface import make_field, make_group
+from repro.schema.tree import SchemaNode
+
+
+def _taxonomy(name, sections):
+    """sections: list of (category label, [concept labels])."""
+    top = []
+    for i, (category, concepts) in enumerate(sections):
+        leaves = [
+            make_field(c, name=f"{name}:{i}:{j}") for j, c in enumerate(concepts)
+        ]
+        top.append(make_group(category, leaves, name=f"{name}:{i}"))
+    return ConceptHierarchy(name, SchemaNode(None, top, name=f"{name}:root"))
+
+
+@pytest.fixture()
+def store_taxonomies(comparator):
+    """Three electronics-store taxonomies with heterogeneous names."""
+    return [
+        _taxonomy("store-a", [
+            ("Computers", ["Laptops", "Desktops"]),
+            ("Phones", ["Smartphones", "Cell Phone Accessories"]),
+        ]),
+        _taxonomy("store-b", [
+            ("Computers", ["Laptops", "Desktops", "Tablets"]),
+            ("Mobile Phones", ["Smartphones"]),
+        ]),
+        _taxonomy("store-c", [
+            ("Computer Equipment", ["Laptops", "Desktop Computers"]),
+            ("Phones", ["Smartphones", "Phone Accessories"]),
+        ]),
+    ]
+
+
+class TestConceptHierarchy:
+    def test_concepts_listing(self, store_taxonomies):
+        assert store_taxonomies[0].concepts() == [
+            "Laptops", "Desktops", "Smartphones", "Cell Phone Accessories"
+        ]
+
+    def test_unlabeled_node_rejected(self):
+        bad = ConceptHierarchy(
+            "bad",
+            SchemaNode(None, [make_field(None, name="x")], name="r"),
+        )
+        with pytest.raises(ValueError, match="unlabeled"):
+            bad.validate_labels()
+
+    def test_as_interface(self, store_taxonomies):
+        qi = store_taxonomies[0].as_interface()
+        assert qi.domain == "hierarchy"
+        assert qi.leaf_count() == 4
+
+
+class TestIntegrateHierarchies:
+    def test_integration_produces_labeled_taxonomy(self, store_taxonomies, comparator):
+        integrated = integrate_hierarchies(store_taxonomies, comparator=comparator)
+        leaves = [l.label for l in integrated.root.leaves()]
+        # Equivalent concepts merged: one laptops leaf, one desktops leaf...
+        assert leaves.count("Laptops") == 1
+        assert "Smartphones" in leaves
+        # Categories got labels.
+        internal = [
+            n.label for n in integrated.root.internal_nodes()
+            if n is not integrated.root
+        ]
+        assert any(l for l in internal)
+
+    def test_computers_category_named(self, store_taxonomies, comparator):
+        integrated = integrate_hierarchies(store_taxonomies, comparator=comparator)
+        laptops = integrated.root.find(
+            lambda n: n.is_leaf and n.label == "Laptops"
+        )
+        assert laptops is not None
+        parent_labels = [a.label for a in laptops.ancestors() if a.is_labeled]
+        assert any(
+            label in ("Computers", "Computer Equipment") for label in parent_labels
+        )
+
+    def test_horizontal_consistency_in_categories(self, store_taxonomies, comparator):
+        integrated = integrate_hierarchies(store_taxonomies, comparator=comparator)
+        # Desktops/Desktop Computers resolve to ONE consistent spelling.
+        desktop_leaves = [
+            l.label for l in integrated.root.leaves()
+            if l.label and "Desktop" in l.label
+        ]
+        assert len(desktop_leaves) == 1
+
+    def test_explicit_mapping_respected(self, store_taxonomies, comparator):
+        from repro.schema.clusters import Mapping
+
+        interfaces = [h.as_interface() for h in store_taxonomies]
+        mapping = Mapping()
+        for qi in interfaces:
+            for leaf in qi.fields():
+                key = "c_" + leaf.label.split()[0].lower().rstrip("s")
+                if qi.name in mapping.get_or_create(key):
+                    key = key + "_2"
+                mapping.assign(key, qi.name, leaf)
+        integrated = integrate_hierarchies(
+            store_taxonomies, mapping=mapping, comparator=comparator
+        )
+        assert integrated.root.leaves()
+
+    def test_classification_reported(self, store_taxonomies, comparator):
+        integrated = integrate_hierarchies(store_taxonomies, comparator=comparator)
+        assert integrated.classification in (
+            "consistent", "weakly_consistent", "inconsistent"
+        )
+        assert isinstance(integrated.pretty(), str)

@@ -1,0 +1,76 @@
+"""Golden-file regression: the labeled seed-0 trees, pinned.
+
+The reference corpus (seed 0) is the repository's analog of the paper's
+fixed crawl; EXPERIMENTS.md reports its numbers.  These tests pin the
+complete labeled integrated interface of every domain to a golden JSON
+file so any change to the lexicon, the merge, or the naming machinery that
+shifts an actual label shows up as a reviewable diff.
+
+Regenerate after an intentional change with:
+
+    python tests/test_golden.py --regenerate
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import DOMAINS
+from repro.experiment import run_domain
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _snapshot(domain: str) -> dict:
+    run = run_domain(domain, seed=0, respondent_count=1)
+    labeling = run.labeling
+
+    def tree(node):
+        entry = {"label": node.label}
+        if node.cluster:
+            entry["cluster"] = node.cluster
+        if node.children:
+            entry["children"] = [tree(child) for child in node.children]
+        return entry
+
+    return {
+        "domain": domain,
+        "classification": run.classification,
+        "field_labels": dict(sorted(labeling.field_labels.items())),
+        "node_labels": {
+            name: label for name, label in sorted(labeling.node_labels.items())
+        },
+        "tree": tree(labeling.root),
+    }
+
+
+@pytest.mark.parametrize("domain", list(DOMAINS))
+def test_labeled_tree_matches_golden(domain):
+    golden_path = GOLDEN_DIR / f"{domain}.json"
+    if not golden_path.exists():
+        pytest.skip(f"golden file missing — run `python {__file__} --regenerate`")
+    expected = json.loads(golden_path.read_text())
+    actual = _snapshot(domain)
+    assert actual == expected, (
+        f"{domain}: labeled interface drifted from the golden snapshot; "
+        f"if intentional, regenerate with `python {__file__} --regenerate`"
+    )
+
+
+def _regenerate() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for domain in DOMAINS:
+        path = GOLDEN_DIR / f"{domain}.json"
+        path.write_text(json.dumps(_snapshot(domain), indent=2) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

@@ -1,0 +1,233 @@
+"""HTML form extraction and rendering (the Section-2/Section-9 adapter)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.html import FormParseError, parse_form, parse_forms, render_form
+from repro.schema.interface import FieldKind, make_field, make_group
+from repro.schema.tree import SchemaNode
+
+AIRLINE_FORM = """
+<html><body>
+<form action="/search">
+  Departing from <input type="text" name="from">
+  Going to <input type="text" name="to">
+  <fieldset>
+    <legend>How many people are going?</legend>
+    <label for="a">Adults</label><input type="text" id="a" name="adults">
+    <label for="c">Children</label><input type="text" id="c" name="children">
+  </fieldset>
+  <label for="cls">Class</label>
+  <select id="cls" name="class">
+    <option>Economy</option><option>Business</option><option>First</option>
+  </select>
+  <label><input type="checkbox" name="nonstop"> Nonstop only</label>
+  <input type="radio" name="trip" value="Round Trip">
+  <input type="radio" name="trip" value="One Way">
+  <input type="hidden" name="csrf" value="x">
+  <input type="submit" value="Search">
+</form>
+</body></html>
+"""
+
+
+class TestParseForm:
+    @pytest.fixture()
+    def qi(self):
+        return parse_form(AIRLINE_FORM, "airline-demo")
+
+    def test_field_count_ignores_buttons_and_hidden(self, qi):
+        # from, to, adults, children, class, nonstop, trip -> 7 fields
+        assert qi.leaf_count() == 7
+
+    def test_preceding_text_labels(self, qi):
+        labels = [f.label for f in qi.fields()]
+        assert "Departing from" in labels and "Going to" in labels
+
+    def test_label_for_resolution(self, qi):
+        adults = next(f for f in qi.fields() if f.label == "Adults")
+        assert adults.kind is FieldKind.TEXT_BOX
+
+    def test_fieldset_becomes_group(self, qi):
+        group = next(
+            n for n in qi.internal_nodes()
+            if n.label == "How many people are going?"
+        )
+        assert [c.label for c in group.children] == ["Adults", "Children"]
+
+    def test_select_instances(self, qi):
+        select = next(f for f in qi.fields() if f.kind is FieldKind.SELECTION_LIST)
+        assert select.label == "Class"
+        assert select.instances == ("Economy", "Business", "First")
+
+    def test_wrapped_label_checkbox(self, qi):
+        checkbox = next(f for f in qi.fields() if f.kind is FieldKind.CHECKBOX)
+        assert checkbox.label == "Nonstop only"
+
+    def test_radio_group_collapses_to_one_field(self, qi):
+        radios = [f for f in qi.fields() if f.kind is FieldKind.RADIO_BUTTON]
+        assert len(radios) == 1
+        assert radios[0].instances == ("Round Trip", "One Way")
+
+    def test_tree_validates(self, qi):
+        qi.root.validate()
+
+
+class TestParseEdgeCases:
+    def test_no_form_raises(self):
+        with pytest.raises(FormParseError):
+            parse_form("<html><body><p>nothing here</p></body></html>")
+
+    def test_empty_form_raises(self):
+        with pytest.raises(FormParseError):
+            parse_form("<form><input type='submit'></form>")
+
+    def test_multiple_forms(self):
+        html = """
+        <form><input type="text" name="q1"></form>
+        <form><input type="text" name="q2"></form>
+        """
+        interfaces = parse_forms(html)
+        assert len(interfaces) == 2
+
+    def test_nested_fieldsets(self):
+        html = """
+        <form>
+          <fieldset><legend>Trip</legend>
+            <fieldset><legend>Route</legend>
+              From <input type="text" name="f">
+              To <input type="text" name="t">
+            </fieldset>
+            <fieldset><legend>Dates</legend>
+              Depart <input type="text" name="d">
+            </fieldset>
+          </fieldset>
+        </form>
+        """
+        qi = parse_form(html)
+        trip = next(n for n in qi.internal_nodes() if n.label == "Trip")
+        assert {c.label for c in trip.children} == {"Route", "Dates"}
+        assert qi.depth() == 4
+
+    def test_textarea(self):
+        qi = parse_form(
+            "<form>Comments <textarea name='c'></textarea></form>"
+        )
+        assert qi.fields()[0].label == "Comments"
+
+    def test_unlabeled_field(self):
+        qi = parse_form("<form><input type='text' name='q'></form>")
+        assert qi.fields()[0].label is None
+
+    def test_self_closing_inputs(self):
+        qi = parse_form("<form>City <input type='text' name='c'/></form>")
+        assert qi.fields()[0].label == "City"
+
+
+class TestRenderRoundTrip:
+    def _tree(self):
+        return SchemaNode(None, [
+            make_group("Passengers", [
+                make_field("Adults", name="a"),
+                make_field("Children", name="c"),
+            ], name="g"),
+            make_field(
+                "Class",
+                kind=FieldKind.SELECTION_LIST,
+                instances=("Economy", "First"),
+                name="cls",
+            ),
+            make_field("Nonstop", kind=FieldKind.CHECKBOX, name="ns"),
+            make_field(
+                "Trip Type",
+                kind=FieldKind.RADIO_BUTTON,
+                instances=("Round Trip", "One Way"),
+                name="tt",
+            ),
+        ], name="root")
+
+    def test_round_trip_structure_and_labels(self):
+        original = self._tree()
+        html = render_form(original, title="Demo")
+        parsed = parse_form(html).root
+
+        def shape(node):
+            return (node.label, [shape(c) for c in node.children])
+
+        assert shape(parsed) == shape(original)
+
+    def test_round_trip_instances(self):
+        html = render_form(self._tree())
+        parsed = parse_form(html)
+        select = next(
+            f for f in parsed.fields() if f.kind is FieldKind.SELECTION_LIST
+        )
+        assert select.instances == ("Economy", "First")
+        radio = next(
+            f for f in parsed.fields() if f.kind is FieldKind.RADIO_BUTTON
+        )
+        assert radio.instances == ("Round Trip", "One Way")
+
+    def test_escapes_html_in_labels(self):
+        root = SchemaNode(None, [make_field("Beds & <Baths>", name="x")],
+                          name="r")
+        html = render_form(root)
+        assert "Beds &amp; &lt;Baths&gt;" in html
+
+    def test_renders_generated_domain(self):
+        """The headline deliverable: the labeled integrated interface of a
+        full domain renders to valid, re-parsable HTML."""
+        from repro import run_domain
+
+        run = run_domain("auto", seed=0)
+        html = render_form(run.labeling.root, title="Auto")
+        parsed = parse_form(html)
+        assert parsed.leaf_count() == len(run.labeling.root.leaves())
+
+
+class TestMalformedHtml:
+    """Best-effort behavior on the markup real crawls produce."""
+
+    def test_unclosed_tags(self):
+        html = "<form>City <input type='text' name='c'>State <input name='s'>"
+        qi = parse_form(html)
+        assert [f.label for f in qi.fields()] == ["City", "State"]
+
+    def test_fieldset_without_legend(self):
+        qi = parse_form(
+            "<form><fieldset>Q <input type='text' name='q'></fieldset></form>"
+        )
+        section = qi.internal_nodes(include_root=False)[0]
+        assert section.label is None
+        assert qi.fields()[0].label == "Q"
+
+    def test_unknown_input_types_treated_as_text(self):
+        qi = parse_form("<form>R <input type='range' name='r'></form>")
+        assert qi.fields()[0].kind is FieldKind.TEXT_BOX
+
+    def test_entities_decoded(self):
+        qi = parse_form("<form>Beds &amp; Baths <input type='text' name='b'></form>")
+        assert qi.fields()[0].label == "Beds & Baths"
+
+    def test_stray_fieldset_close_ignored(self):
+        qi = parse_form(
+            "<form></fieldset>City <input type='text' name='c'></form>"
+        )
+        assert qi.leaf_count() == 1
+
+    def test_content_outside_form_ignored(self):
+        html = """
+        Ignore <input type="text" name="outside">
+        <form>Inside <input type="text" name="inside"></form>
+        """
+        qi = parse_form(html)
+        assert qi.leaf_count() == 1
+        assert qi.fields()[0].label == "Inside"
+
+    def test_select_without_name(self):
+        qi = parse_form(
+            "<form>Pick <select><option>A</option><option>B</option></select></form>"
+        )
+        field = qi.fields()[0]
+        assert field.instances == ("A", "B")

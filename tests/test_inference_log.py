@@ -1,0 +1,51 @@
+"""Inference-rule accounting (Figure 10 infrastructure)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.inference import InferenceLog, InferenceRule
+
+
+class TestInferenceLog:
+    def test_record_and_total(self):
+        log = InferenceLog()
+        log.record(InferenceRule.LI2, domain="auto", node="n1", label="X")
+        log.record(InferenceRule.LI2)
+        log.record(InferenceRule.LI5)
+        assert log.total() == 3
+        assert log.counts[InferenceRule.LI2] == 2
+        assert len(log.events) == 3
+
+    def test_shares_sum_to_one(self):
+        log = InferenceLog()
+        for rule in (InferenceRule.LI2, InferenceRule.LI2, InferenceRule.LI3,
+                     InferenceRule.LI6):
+            log.record(rule)
+        shares = log.shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares[InferenceRule.LI2] == pytest.approx(0.5)
+        assert shares[InferenceRule.LI1] == 0.0
+
+    def test_empty_shares_all_zero(self):
+        shares = InferenceLog().shares()
+        assert set(shares) == set(InferenceRule)
+        assert all(v == 0.0 for v in shares.values())
+
+    def test_keep_events_false_counts_only(self):
+        log = InferenceLog(keep_events=False)
+        log.record(InferenceRule.LI1)
+        assert log.total() == 1
+        assert log.events == []
+
+    def test_merged_with(self):
+        a = InferenceLog()
+        a.record(InferenceRule.LI2)
+        b = InferenceLog()
+        b.record(InferenceRule.LI2)
+        b.record(InferenceRule.LI7)
+        merged = a.merged_with(b)
+        assert merged.total() == 3
+        assert merged.counts[InferenceRule.LI2] == 2
+        # Originals untouched.
+        assert a.total() == 1 and b.total() == 2

@@ -1,0 +1,109 @@
+"""Instance-based rules LI6 and LI7 (Section 6.1)."""
+
+from __future__ import annotations
+
+from repro.core.instances import (
+    domain_of_label,
+    li6_semantically_equivalent,
+    li7_at_least_as_general,
+    li7_value_labels,
+)
+from repro.schema.clusters import Cluster
+from repro.schema.interface import make_field
+
+
+def _cluster(members):
+    cluster = Cluster("c")
+    for interface, label, instances in members:
+        cluster.add(interface, make_field(label, instances=tuple(instances)))
+    return cluster
+
+
+class TestDomainOfLabel:
+    def test_union_over_same_label_fields(self):
+        cluster = _cluster([
+            ("a", "Class", ("First", "Economy")),
+            ("b", "Class", ("Business",)),
+            ("c", "Flight Class", ("First",)),
+        ])
+        assert domain_of_label(cluster, "Class") == {
+            "first", "economy", "business"
+        }
+
+    def test_values_normalized(self):
+        cluster = _cluster([("a", "Class", ("  First   Class ",))])
+        assert domain_of_label(cluster, "Class") == {"first class"}
+
+
+class TestLI6:
+    def test_figure9(self, comparator):
+        """Flight Class and Class have the same domain, so the generic
+        Class is bounded to Flight Class's meaning in this domain."""
+        values = ("Economy", "Business", "First")
+        cluster = _cluster([
+            ("a", "Class", values),
+            ("b", "Flight Class", values),
+        ])
+        assert li6_semantically_equivalent(
+            cluster, "Class", "Flight Class", comparator
+        )
+
+    def test_requires_hypernymy(self, comparator):
+        cluster = _cluster([
+            ("a", "Airline", ("Any",)),
+            ("b", "Flight Class", ("Any",)),
+        ])
+        assert not li6_semantically_equivalent(
+            cluster, "Airline", "Flight Class", comparator
+        )
+
+    def test_requires_domain_containment(self, comparator):
+        cluster = _cluster([
+            ("a", "Class", ("Economy", "Business", "Charter")),
+            ("b", "Flight Class", ("Economy", "Business")),
+        ])
+        # domain(Class) ⊄ domain(Flight Class): Charter is extra.
+        assert not li6_semantically_equivalent(
+            cluster, "Class", "Flight Class", comparator
+        )
+
+    def test_requires_non_empty_domains(self, comparator):
+        cluster = _cluster([
+            ("a", "Class", ()),
+            ("b", "Flight Class", ("Economy",)),
+        ])
+        assert not li6_semantically_equivalent(
+            cluster, "Class", "Flight Class", comparator
+        )
+
+
+class TestLI7:
+    def test_value_label_detected(self):
+        cluster = _cluster([
+            ("a", "Format", ("Hardcover", "Paperback")),
+            ("b", "Hardcover", ()),
+        ])
+        findings = li7_value_labels(cluster)
+        assert findings == {"Format": ["Hardcover"]}
+
+    def test_predicate_form(self):
+        cluster = _cluster([
+            ("a", "Format", ("Hardcover", "Paperback")),
+            ("b", "Hardcover", ()),
+        ])
+        assert li7_at_least_as_general(cluster, "Format", "Hardcover")
+        assert not li7_at_least_as_general(cluster, "Hardcover", "Format")
+
+    def test_case_insensitive_match(self):
+        cluster = _cluster([
+            ("a", "Binding", ("hardcover",)),
+            ("b", "HardCover", ()),
+        ])
+        assert li7_at_least_as_general(cluster, "Binding", "HardCover")
+
+    def test_no_findings_without_instances(self):
+        cluster = _cluster([
+            ("a", "Format", ()),
+            ("b", "Hardcover", ()),
+        ])
+        assert li7_value_labels(cluster) == {}

@@ -1,0 +1,320 @@
+"""Internal-node candidate labels: LI1-LI5 and Definition 6 (Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.group_relation import GroupRelation
+from repro.core.inference import InferenceRule
+from repro.core.internal_nodes import CandidateFinder, collect_source_internal_nodes
+from repro.core.solutions import name_group
+from repro.schema.clusters import Mapping
+from repro.schema.interface import QueryInterface, make_field, make_group
+from repro.schema.tree import SchemaNode
+
+from .conftest import regular_group
+
+
+def _interface(name, sections):
+    """sections: list of (section_label | None, [(cluster, field_label)])."""
+    mapping_entries = []
+    top = []
+    for section_label, fields in sections:
+        nodes = []
+        for cluster, field_label in fields:
+            node = make_field(
+                field_label, cluster=cluster, name=f"{name}:{cluster}"
+            )
+            nodes.append(node)
+            mapping_entries.append((cluster, node))
+        if section_label is None and len(nodes) == 1:
+            top.extend(nodes)
+        else:
+            top.append(make_group(section_label, nodes, name=f"{name}:{section_label}"))
+    qi = QueryInterface(name, SchemaNode(None, top, name=f"{name}:root"))
+    return qi, mapping_entries
+
+
+def _corpus(*specs):
+    interfaces = []
+    mapping = Mapping()
+    for name, sections in specs:
+        qi, entries = _interface(name, sections)
+        interfaces.append(qi)
+        for cluster, node in entries:
+            mapping.assign(cluster, name, node)
+    return interfaces, mapping
+
+
+def _global_node(clusters):
+    leaves = [SchemaNode(None, cluster=c, name=f"leaf:{c}") for c in clusters]
+    return SchemaNode(None, leaves, name="gn")
+
+
+class TestCollect:
+    def test_collects_labeled_internal_nodes_with_clusters(self, comparator):
+        interfaces, __ = _corpus(
+            ("a", [("Location", [("c_city", "City"), ("c_state", "State")])]),
+            ("b", [(None, [("c_zip", "Zip")])]),
+        )
+        nodes = collect_source_internal_nodes(interfaces)
+        assert len(nodes) == 1
+        assert nodes[0].label == "Location"
+        assert nodes[0].leaf_clusters == {"c_city", "c_state"}
+
+
+class TestLI2:
+    """Figure 8 (left): the same label's coverage unions across sources."""
+
+    def _finder(self, comparator):
+        interfaces, mapping = _corpus(
+            ("a", [("Location", [("c_city", "City"), ("c_state", "State")])]),
+            ("b", [("Location", [("c_state", "State"), ("c_zip", "Zip Code")])]),
+            ("c", [("Location", [("c_city", "City"), ("c_zip", "Zip")])]),
+        )
+        return CandidateFinder(interfaces, mapping, comparator)
+
+    def test_union_covers_target(self, comparator):
+        finder = self._finder(comparator)
+        node = _global_node(["c_city", "c_state", "c_zip"])
+        candidates = finder.candidates_for(node)
+        assert [c.text for c in candidates] == ["Location"]
+        assert candidates[0].coverage == {"c_city", "c_state", "c_zip"}
+        assert candidates[0].origins == {"a", "b", "c"}
+        assert finder.log.counts[InferenceRule.LI2] >= 1
+
+    def test_no_candidate_when_coverage_partial(self, comparator):
+        finder = self._finder(comparator)
+        node = _global_node(["c_city", "c_state", "c_zip", "c_country"])
+        assert finder.candidates_for(node) == []
+        # ... but Location is still a *potential* label.
+        assert "Location" in finder.potential_labels_for(node)
+
+
+class TestLI3LI4:
+    """Figure 8 (middle): the hypernymy hierarchy's root covers the union."""
+
+    def test_question_root_covers_all(self, comparator):
+        interfaces, mapping = _corpus(
+            ("a", [("Do you have any preferences?",
+                    [("c_airline", "Airline"), ("c_class", "Class")])]),
+            ("b", [("Airline Preferences", [("c_airline", "Preferred Airline")])]),
+            ("c", [("What are your service preferences?",
+                    [("c_class", "Class of Ticket"), ("c_meal", "Meal")])]),
+        )
+        finder = CandidateFinder(interfaces, mapping, comparator)
+        node = _global_node(["c_airline", "c_class", "c_meal"])
+        candidates = finder.candidates_for(node)
+        texts = [c.text for c in candidates]
+        assert "Do you have any preferences?" in texts
+        assert finder.log.counts[InferenceRule.LI3] + finder.log.counts[
+            InferenceRule.LI4
+        ] >= 1
+
+    def test_hyponym_does_not_absorb_upward(self, comparator):
+        interfaces, mapping = _corpus(
+            ("a", [("Airline Preferences", [("c_airline", "Airline")])]),
+            ("b", [("Do you have any preferences?", [("c_meal", "Meal")])]),
+        )
+        finder = CandidateFinder(interfaces, mapping, comparator)
+        node = _global_node(["c_airline", "c_meal"])
+        candidates = finder.candidates_for(node)
+        # Only the general label can cover both.
+        assert [c.text for c in candidates] == ["Do you have any preferences?"]
+
+
+class TestLI5:
+    """Figure 8 (right): Car Information extends over the dependent Keywords."""
+
+    def _corpus(self):
+        return _corpus(
+            # Car Information covers make+model(+year) but not keywords.
+            ("a", [("Car Information",
+                    [("c_make", "Make"), ("c_model", "Model"),
+                     ("c_from", "From"), ("c_to", "To")])]),
+            # A source section whose label's content words come from its
+            # make/model fields, with keywords as the dependent extra.
+            ("b", [("Make/Model",
+                    [("c_make", "Make"), ("c_model", "Model"),
+                     ("c_keyword", "Keywords")])]),
+        )
+
+    def test_extends_over_characterized_subset(self, comparator):
+        interfaces, mapping = self._corpus()
+        finder = CandidateFinder(interfaces, mapping, comparator)
+        node = _global_node(["c_make", "c_model", "c_from", "c_to", "c_keyword"])
+        candidates = finder.candidates_for(node)
+        assert [c.text for c in candidates] == ["Car Information"]
+        assert candidates[0].rule is InferenceRule.LI5
+        assert finder.log.counts[InferenceRule.LI5] == 1
+
+    def test_li5_disabled(self, comparator):
+        interfaces, mapping = self._corpus()
+        finder = CandidateFinder(
+            interfaces,
+            mapping,
+            comparator,
+            enabled_rules=frozenset(InferenceRule) - {InferenceRule.LI5},
+        )
+        node = _global_node(["c_make", "c_model", "c_from", "c_to", "c_keyword"])
+        assert finder.candidates_for(node) == []
+
+    def test_instance_containment_condition(self, comparator):
+        """LI5 condition 1: Z's instances inside Y's instances."""
+        interfaces, mapping = _corpus(
+            ("a", [("Trip", [("c_class", "Class"), ("c_fare", "Fare Type")])]),
+        )
+        # Give the fields instances such that c_extra ⊂ c_class's domain.
+        qi2, entries = _interface(
+            "b", [(None, [("c_extra", "Cabin Choice")])]
+        )
+        entries[0][1].instances = ("First", "Economy")
+        mapping.assign("c_extra", "b", entries[0][1])
+        interfaces.append(qi2)
+        class_field = mapping["c_class"].members["a"]
+        class_field.instances = ("First", "Economy", "Business")
+        finder = CandidateFinder(interfaces, mapping, comparator)
+        node = _global_node(["c_class", "c_fare", "c_extra"])
+        candidates = finder.candidates_for(node)
+        assert [c.text for c in candidates] == ["Trip"]
+
+
+class TestLI1:
+    def test_subset_plus_hypernym_label_equivalence(self, comparator):
+        """Section 5's Location / Property Location example."""
+        interfaces, mapping = _corpus(
+            ("a", [("Location", [("c_state", "State"), ("c_county", "County")])]),
+            ("b", [("Property Location",
+                    [("c_state", "State"), ("c_county", "County"),
+                     ("c_city", "City")])]),
+        )
+        finder = CandidateFinder(interfaces, mapping, comparator)
+        pairs = finder.li1_equivalences()
+        assert ("Location", "Property Location") in pairs
+
+    def test_li1_shares_coverage(self, comparator):
+        interfaces, mapping = _corpus(
+            ("a", [("Location", [("c_state", "State"), ("c_county", "County")])]),
+            ("b", [("Property Location",
+                    [("c_state", "State"), ("c_county", "County"),
+                     ("c_city", "City")])]),
+        )
+        finder = CandidateFinder(interfaces, mapping, comparator)
+        node = _global_node(["c_state", "c_county", "c_city"])
+        texts = {c.text for c in finder.candidates_for(node)}
+        # Property Location covers directly; Location via LI1 equivalence.
+        assert texts == {"Location", "Property Location"}
+
+
+class TestDefinition6:
+    def test_candidate_consistency_with_solution(self, comparator, table2_corpus):
+        interfaces, mapping, group = table2_corpus
+        relation = GroupRelation.from_mapping(group, mapping)
+        result = name_group(relation, comparator)
+        solution = result.best
+        finder = CandidateFinder(interfaces, mapping, comparator)
+
+        from repro.core.internal_nodes import CandidateLabel
+
+        in_partition = CandidateLabel(
+            text="Passengers", rule=InferenceRule.LI2,
+            origins=frozenset({"british"}), coverage=frozenset(group.clusters),
+        )
+        outside = CandidateLabel(
+            text="Travelers", rule=InferenceRule.LI2,
+            origins=frozenset({"airtravel"}), coverage=frozenset(group.clusters),
+        )
+        unconstrained = CandidateLabel(
+            text="People", rule=InferenceRule.LI2,
+            origins=frozenset({"unrelated-interface"}),
+            coverage=frozenset(group.clusters),
+        )
+        assert finder.candidate_consistent_with_solution(
+            in_partition, result, solution
+        )
+        assert not finder.candidate_consistent_with_solution(
+            outside, result, solution
+        )
+        assert finder.candidate_consistent_with_solution(
+            unconstrained, result, solution
+        )
+
+
+class TestDefinition7:
+    """Ancestor/descendant candidate-label consistency (the Table 5 logic)."""
+
+    def _setup(self, comparator):
+        from repro.core.internal_nodes import CandidateLabel
+        from repro.core.solutions import name_group
+
+        interfaces, mapping = _corpus(
+            ("i1", [("Year Range", [("c_from", "Min"), ("c_to", "Max")]),
+                    ("Make/Model", [("c_make", "Make"), ("c_model", "Model")])]),
+            ("i2", [("Year Range", [("c_from", "Min"), ("c_to", "Max")]),
+                    ("Make/Model", [("c_make", "Make"), ("c_model", "Model")])]),
+            ("i3", [("Car Information",
+                     [("c_from", "Min"), ("c_to", "Max"),
+                      ("c_make", "Make"), ("c_model", "Model")])]),
+        )
+        finder = CandidateFinder(interfaces, mapping, comparator)
+        from .conftest import regular_group
+        from repro.core.group_relation import GroupRelation
+
+        year_group = regular_group(["c_from", "c_to"], "year")
+        year_result = name_group(
+            GroupRelation.from_mapping(year_group, mapping), comparator
+        )
+        car_info = CandidateLabel(
+            text="Car Information", rule=InferenceRule.LI2,
+            origins=frozenset({"i3"}),
+            coverage=frozenset({"c_from", "c_to", "c_make", "c_model"}),
+        )
+        year_range = CandidateLabel(
+            text="Year Range", rule=InferenceRule.LI2,
+            origins=frozenset({"i1", "i2"}),
+            coverage=frozenset({"c_from", "c_to"}),
+        )
+        return finder, year_result, car_info, year_range
+
+    def test_consistent_pair(self, comparator):
+        finder, year_result, car_info, year_range = self._setup(comparator)
+        assert finder.definition7_consistent(
+            car_info, year_range, [year_result]
+        )
+
+    def test_generality_violation_fails(self, comparator):
+        finder, year_result, car_info, year_range = self._setup(comparator)
+        # Swapped roles: the year label cannot sit above Car Information.
+        assert not finder.definition7_consistent(
+            year_range, car_info, [year_result]
+        )
+
+    def test_weak_form(self, comparator):
+        finder, __, car_info, year_range = self._setup(comparator)
+        assert finder.weakly_consistent_pair(car_info, year_range)
+        assert not finder.weakly_consistent_pair(year_range, car_info)
+
+    def test_condition2_fails_outside_partition(self, comparator):
+        from repro.core.internal_nodes import CandidateLabel
+
+        finder, year_result, car_info, __ = self._setup(comparator)
+        # A descendant label originating from a row outside every solution's
+        # partition cannot satisfy condition 2.  Fabricate such an origin by
+        # pointing at an interface with a conflicting row: none exists here,
+        # so instead check that a partition-less (partial) result fails.
+        from repro.core.solutions import GroupNamingResult, GroupSolution
+
+        partial = GroupNamingResult(
+            group=year_result.group, relation=year_result.relation
+        )
+        partial.solutions = [
+            GroupSolution(
+                group=year_result.group,
+                labels={"c_from": "Min", "c_to": "Max"},
+                level=None,
+                partition=None,
+            )
+        ]
+        assert not finder.definition7_consistent(
+            car_info, car_info, [partial]
+        )

@@ -1,0 +1,125 @@
+"""Isolated-cluster naming: the RAN variant of Section 4.4 (+ LI6/LI7)."""
+
+from __future__ import annotations
+
+from repro.core.isolated import build_hierarchies, name_isolated_cluster
+from repro.schema.clusters import Cluster
+from repro.schema.interface import make_field
+
+
+def _cluster(members):
+    """members: list of (interface, label, instances)."""
+    cluster = Cluster("c")
+    for interface, label, instances in members:
+        cluster.add(interface, make_field(label, instances=tuple(instances)))
+    return cluster
+
+
+class TestHierarchies:
+    def test_paper_example(self, comparator):
+        """Section 4.4: Class is the parent of Class of Ticket and Flight
+        Class; Preferred Cabin stands alone."""
+        labels = ["Class", "Class of Ticket", "Preferred Cabin", "Flight Class"]
+        hierarchy = build_hierarchies(labels, comparator)
+        assert set(hierarchy.roots) == {"Class", "Preferred Cabin"}
+        assert hierarchy.parents["Class of Ticket"] == ["Class"]
+        assert hierarchy.parents["Flight Class"] == ["Class"]
+
+    def test_hyponyms_of(self, comparator):
+        labels = ["Class", "Class of Ticket", "Flight Class"]
+        hierarchy = build_hierarchies(labels, comparator)
+        assert set(hierarchy.hyponyms_of("Class")) == {
+            "Class of Ticket", "Flight Class"
+        }
+
+    def test_duplicates_collapsed(self, comparator):
+        hierarchy = build_hierarchies(["X", "X", "Y"], comparator)
+        assert hierarchy.labels == ["X", "Y"]
+
+
+class TestNameIsolatedCluster:
+    def test_most_descriptive_root_wins(self, comparator):
+        """Section 4.4's outcome: Preferred Cabin beats the generic Class."""
+        cluster = _cluster([
+            ("a", "Class", ()),
+            ("b", "Class of Ticket", ()),
+            ("c", "Preferred Cabin", ()),
+            ("d", "Flight Class", ()),
+        ])
+        outcome = name_isolated_cluster(cluster, comparator)
+        assert outcome.label == "Preferred Cabin"
+        assert set(outcome.roots) == {"Class", "Preferred Cabin"}
+
+    def test_frequency_breaks_ties(self, comparator):
+        cluster = _cluster([
+            ("a", "Garage Spaces", ()),
+            ("b", "Garage Spaces", ()),
+            ("c", "Parking Spots", ()),
+        ])
+        outcome = name_isolated_cluster(cluster, comparator)
+        assert outcome.label == "Garage Spaces"
+
+    def test_empty_cluster(self, comparator):
+        outcome = name_isolated_cluster(_cluster([]), comparator)
+        assert outcome.label is None
+
+    def test_unlabeled_members_ignored(self, comparator):
+        cluster = _cluster([("a", None, ()), ("b", "Garage", ())])
+        outcome = name_isolated_cluster(cluster, comparator)
+        assert outcome.label == "Garage"
+
+
+class TestLI6Figure9:
+    def test_domain_bound_generic_yields_to_descriptive(self, comparator):
+        """Figure 9: Class and Flight Class share a domain, so the more
+        descriptive Flight Class is elected over the generic root."""
+        values = ("Economy", "Business", "First")
+        cluster = _cluster([
+            ("a", "Class", values),
+            ("b", "Flight Class", values),
+            ("c", "Class of Tickets", ("Economy", "Business")),
+        ])
+        outcome = name_isolated_cluster(cluster, comparator)
+        assert outcome.label == "Flight Class"
+        assert ("Class", "Flight Class") in outcome.li6_replacements
+
+    def test_without_instances_generic_root_stays(self, comparator):
+        cluster = _cluster([
+            ("a", "Class", ()),
+            ("b", "Flight Class", ()),
+        ])
+        outcome = name_isolated_cluster(cluster, comparator)
+        # Only root is Class (hypernym of Flight Class); no LI6 evidence.
+        assert outcome.label == "Class"
+        assert outcome.li6_replacements == []
+
+    def test_use_instances_false_disables_li6(self, comparator):
+        values = ("Economy", "Business")
+        cluster = _cluster([
+            ("a", "Class", values),
+            ("b", "Flight Class", values),
+        ])
+        outcome = name_isolated_cluster(cluster, comparator, use_instances=False)
+        assert outcome.label == "Class"
+
+
+class TestLI7:
+    def test_value_label_discarded(self, comparator):
+        """Section 6.1.2: 'Hardcover' occurs among Format's instances, so it
+        must not be elected as the cluster label."""
+        cluster = _cluster([
+            ("a", "Format", ("Hardcover", "Paperback")),
+            ("b", "Hardcover", ()),
+            ("c", "Binding", ()),
+        ])
+        outcome = name_isolated_cluster(cluster, comparator)
+        assert outcome.label != "Hardcover"
+        assert outcome.discarded_value_labels == ["Hardcover"]
+
+    def test_li7_disabled_with_instances_off(self, comparator):
+        cluster = _cluster([
+            ("a", "Format", ("Hardcover",)),
+            ("b", "Hardcover", ()),
+        ])
+        outcome = name_isolated_cluster(cluster, comparator, use_instances=False)
+        assert outcome.discarded_value_labels == []

@@ -1,0 +1,90 @@
+"""Label analysis edge cases: caching, odd inputs, conjunction detection."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.label import Label, LabelAnalyzer
+
+
+class TestCaching:
+    def test_identical_text_shares_object(self, analyzer):
+        assert analyzer("Price Range") is analyzer("Price Range")
+
+    def test_different_case_not_shared_but_equal_display(self, analyzer):
+        a = analyzer("price range")
+        b = analyzer("Price Range")
+        assert a is not b
+        assert a.display.casefold() == b.display.casefold()
+
+    def test_callable_and_method_equivalent(self, analyzer):
+        assert analyzer("X") is analyzer.label("X")
+
+
+class TestOddInputs:
+    def test_empty_label(self, analyzer):
+        label = analyzer("")
+        assert label.tokens == ()
+        assert label.stems == frozenset()
+        assert label.content_word_count == 0
+
+    def test_whitespace_only(self, analyzer):
+        assert analyzer("   ").tokens == ()
+
+    def test_punctuation_only(self, analyzer):
+        assert analyzer("$$$ !!!").tokens == ()
+
+    def test_numeric_label(self, analyzer):
+        label = analyzer("24 Hours")
+        assert "24" in {t.surface for t in label.tokens}
+
+    def test_unicode_label(self, analyzer):
+        # Non-ASCII characters are treated as separators by step-1
+        # normalization (the corpus is English, as the paper's is).
+        label = analyzer("Prix—Range")
+        assert {t.surface for t in label.tokens} == {"prix", "range"}
+
+    def test_very_long_label(self, analyzer):
+        text = " ".join(f"word{i}" for i in range(60))
+        label = analyzer(text)
+        assert label.content_word_count == 60
+
+
+class TestConjunctions:
+    @pytest.mark.parametrize(
+        "text",
+        ["Make/Model", "Beds & Baths", "City and State", "Sale or Rent"],
+    )
+    def test_detected(self, analyzer, text):
+        assert analyzer(text).has_conjunction
+
+    @pytest.mark.parametrize(
+        "text",
+        ["Android Phones",   # contains 'and' as substring only
+         "Oregon Coast",     # contains 'or' as substring only
+         "Standard Label"],
+    )
+    def test_substrings_do_not_trigger(self, analyzer, text):
+        assert not analyzer(text).has_conjunction
+
+
+class TestLabelValue:
+    def test_str_is_raw(self, analyzer):
+        assert str(analyzer("Adults (18-64)")) == "Adults (18-64)"
+
+    def test_display_strips_comment(self, analyzer):
+        assert analyzer("Adults (18-64)").display == "Adults"
+
+    def test_labels_are_frozen(self, analyzer):
+        label = analyzer("X")
+        with pytest.raises(AttributeError):
+            label.raw = "Y"
+
+
+@given(st.text(max_size=40))
+def test_analyzer_total(analyzer, text):
+    label = analyzer.label(text)
+    assert isinstance(label, Label)
+    assert len(label.stems) == len(label.tokens)

@@ -1,0 +1,97 @@
+"""The lexicon contract: every relation the paper's examples depend on.
+
+If curation of ``repro.lexicon.data`` ever regresses, these tests point at
+the exact missing fact rather than a mysteriously failing pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lexicon.data import build_default_wordnet
+
+
+@pytest.fixture(scope="module")
+def wn():
+    return build_default_wordnet()
+
+
+class TestPaperSynonymy:
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            ("area", "field"),        # Area of Study ~ Field of Work
+            ("study", "work"),
+            ("make", "brand"),        # auto: Make ~ Brand
+            ("author", "writer"),     # book
+            ("job", "position"),      # job
+            ("salary", "pay"),
+            ("company", "employer"),
+            ("mileage", "odometer"),
+            ("price", "rate"),        # Max Rate ~ Maximum Price bridge
+            ("minimum", "min"),
+            ("maximum", "max"),
+            ("depart", "departure"),  # Departing from ~ Departure City
+            ("arrive", "arrival"),
+            ("format", "binding"),    # book: Format ~ Binding
+            ("type", "category"),     # Job Type vs Job Category homonym smell
+        ],
+    )
+    def test_synonym_pairs(self, wn, a, b):
+        assert wn.are_synonyms(a, b), (a, b)
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            ("job", "employment"),   # must NOT be synonyms: the 4.2.3 repair
+                                     # relies on Employment Type being a
+                                     # non-ambiguous replacement for Job Type
+            ("class", "cabin"),      # Preferred Cabin is its own root (4.4)
+            ("city", "state"),
+        ],
+    )
+    def test_non_synonym_pairs(self, wn, a, b):
+        assert not wn.are_synonyms(a, b), (a, b)
+
+
+class TestPaperHypernymy:
+    @pytest.mark.parametrize(
+        "general,specific",
+        [
+            ("location", "area"),     # Section 5.1.3 / Figure 7
+            ("location", "city"),
+            ("location", "zip"),
+            ("person", "adult"),
+            ("passenger", "infant"),
+            ("time", "date"),
+            ("date", "year"),
+            ("vehicle", "car"),
+            ("property", "condo"),
+        ],
+    )
+    def test_hypernym_pairs(self, wn, general, specific):
+        assert wn.is_hypernym(general, specific), (general, specific)
+
+    def test_hypernymy_is_not_symmetric(self, wn):
+        assert not wn.is_hypernym("city", "location")
+        assert not wn.is_hypernym("car", "vehicle")
+
+
+class TestVocabularyCoverage:
+    def test_domain_label_words_known(self, wn):
+        """Words the catalogs lean on must be in-vocabulary so morphy and
+        the survey's jargon detector behave."""
+        for word in (
+            "adults", "children", "seniors", "infants", "airline", "class",
+            "price", "state", "city", "zip", "distance", "make", "model",
+            "keyword", "author", "title", "publisher", "salary", "bedrooms",
+            "bathrooms", "garage", "hotel", "rooms", "nights", "smoking",
+            "currency", "transmission", "exterior",
+        ):
+            assert wn.is_known(wn.lemma_base(word)), word
+
+    def test_brand_names_unknown(self, wn):
+        """Chain jargon must stay out-of-vocabulary — the survey's
+        too-specific detector keys off exactly this."""
+        for word in ("wyndham", "hertz", "avis", "aadvantage"):
+            assert not wn.is_known(word), word

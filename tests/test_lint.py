@@ -1,0 +1,107 @@
+"""The interface linter (the paper's well-designedness formalism as checks)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import lint_interface
+from repro.schema.interface import make_field, make_group
+from repro.schema.tree import SchemaNode
+
+
+def _findings_by_check(findings):
+    by_check = {}
+    for finding in findings:
+        by_check.setdefault(finding.check, []).append(finding)
+    return by_check
+
+
+class TestWellDesignedInterfacePasses:
+    def test_paper_style_interface_is_clean(self, comparator):
+        root = SchemaNode(None, [
+            make_group("How many people are going?", [
+                make_field("Adults", name="a"),
+                make_field("Seniors", name="s"),
+                make_field("Children", name="c"),
+            ], name="g1"),
+            make_group("Where do you want to go?", [
+                make_field("Departing from", name="f"),
+                make_field("Going to", name="t"),
+            ], name="g2"),
+        ], name="root")
+        assert lint_interface(root, comparator) == []
+
+    def test_generated_consistent_domain_mostly_clean(self):
+        from repro import run_domain
+
+        run = run_domain("job", seed=0, respondent_count=1)
+        findings = lint_interface(run.labeling.root)
+        warns = [f for f in findings if f.severity == "warn"]
+        assert len(warns) <= 2
+
+
+class TestChecks:
+    def test_vertical_violation(self, comparator):
+        # "City" above "Location": the descendant is more general.
+        root = SchemaNode(None, [
+            make_group("City", [
+                make_field("Location", name="x"),
+                make_field("Street", name="y"),
+            ], name="g"),
+        ], name="root")
+        findings = _findings_by_check(lint_interface(root, comparator))
+        assert "vertical" in findings
+        assert "more general than its ancestor" in findings["vertical"][0].message
+
+    def test_homonym_detection(self, comparator):
+        root = SchemaNode(None, [
+            make_field("Job Type", name="a"),
+            make_field("Type of Job", name="b"),
+        ], name="root")
+        findings = _findings_by_check(lint_interface(root, comparator))
+        assert "homonyms" in findings
+
+    def test_unlabeled_field_without_instances(self, comparator):
+        root = SchemaNode(None, [make_field(None, name="bare")], name="root")
+        findings = _findings_by_check(lint_interface(root, comparator))
+        assert "unlabeled" in findings
+
+    def test_unlabeled_with_instances_excused(self, comparator):
+        root = SchemaNode(None, [
+            make_field(None, instances=("a", "b"), name="ok"),
+        ], name="root")
+        assert lint_interface(root, comparator) == []
+
+    def test_generic_label(self, comparator):
+        root = SchemaNode(None, [make_field("Category", name="c")], name="root")
+        findings = _findings_by_check(lint_interface(root, comparator))
+        assert "generic" in findings
+
+    def test_horizontal_incoherence(self, comparator):
+        root = SchemaNode(None, [
+            make_group("Stuff", [
+                make_field("Adults", name="a"),
+                make_field("Children", name="b"),
+                make_field("Carburetor", name="z"),
+            ], name="g"),
+        ], name="root")
+        findings = _findings_by_check(lint_interface(root, comparator))
+        assert "horizontal" in findings
+        assert "Carburetor" in findings["horizontal"][0].message
+
+    def test_unknown_check_rejected(self, comparator):
+        with pytest.raises(ValueError, match="unknown lint check"):
+            lint_interface(SchemaNode(None, name="r"), comparator,
+                           checks=("bogus",))
+
+    def test_check_subset(self, comparator):
+        root = SchemaNode(None, [make_field("Category", name="c")], name="root")
+        assert lint_interface(root, comparator, checks=("homonyms",)) == []
+
+    def test_warns_sort_first(self, comparator):
+        root = SchemaNode(None, [
+            make_field("Category", name="c"),       # info
+            make_field(None, name="bare"),           # warn
+        ], name="root")
+        findings = lint_interface(root, comparator)
+        assert findings[0].severity == "warn"

@@ -1,0 +1,84 @@
+"""Label-based cluster recovery (the optional matcher substrate)."""
+
+from __future__ import annotations
+
+from repro.matching import fields_match, match_interfaces
+from repro.schema.interface import QueryInterface, make_field, make_group
+from repro.schema.tree import SchemaNode
+
+
+def _qi(name, fields):
+    nodes = [
+        make_field(label, instances=tuple(instances), name=f"{name}:{i}")
+        for i, (label, instances) in enumerate(fields)
+    ]
+    return QueryInterface(
+        name, SchemaNode(None, [make_group(None, nodes, name=f"{name}:g")],
+                         name=f"{name}:r")
+    )
+
+
+class TestFieldsMatch:
+    def test_label_relation_match(self, comparator):
+        a = make_field("Preferred Airline")
+        b = make_field("Airline Preference")
+        assert fields_match(a, b, comparator)
+
+    def test_synonym_match(self, comparator):
+        assert fields_match(
+            make_field("Brand"), make_field("Make"), comparator
+        )
+
+    def test_instance_overlap_match(self, comparator):
+        a = make_field("Mystery A", instances=("First", "Economy", "Business"))
+        b = make_field("Something Else", instances=("first", "economy"))
+        assert fields_match(a, b, comparator)
+
+    def test_no_match(self, comparator):
+        assert not fields_match(
+            make_field("Price"), make_field("Airline"), comparator
+        )
+
+    def test_unlabeled_without_instances_never_matches(self, comparator):
+        assert not fields_match(make_field(None), make_field("X"), comparator)
+
+
+class TestMatchInterfaces:
+    def test_recovers_equivalent_fields(self, comparator):
+        interfaces = [
+            _qi("a", [("Preferred Airline", ()), ("Adults", ())]),
+            _qi("b", [("Airline Preference", ()), ("Adults", ())]),
+            _qi("c", [("Adults", ()), ("Price", ())]),
+        ]
+        mapping = match_interfaces(interfaces, comparator)
+        clusters_by_size = sorted(
+            (c.frequency(), sorted(c.members)) for c in mapping.clusters
+        )
+        # Adults x3, airline x2, price x1.
+        assert clusters_by_size == [
+            (1, ["c"]),
+            (2, ["a", "b"]),
+            (3, ["a", "b", "c"]),
+        ]
+
+    def test_one_member_per_interface(self, comparator):
+        interfaces = [
+            _qi("a", [("Adults", ()), ("Adults (18-64)", ())]),
+        ]
+        mapping = match_interfaces(interfaces, comparator)
+        # Two string-equal fields on ONE interface must not share a cluster.
+        assert len(mapping) == 2
+
+    def test_fields_get_cluster_names(self, comparator):
+        interfaces = [_qi("a", [("Adults", ())])]
+        match_interfaces(interfaces, comparator)
+        assert interfaces[0].fields()[0].cluster == "c_adults"
+
+    def test_name_collision_suffixing(self, comparator):
+        interfaces = [
+            _qi("a", [("Price", ())]),
+            _qi("b", [("Price $", ())]),   # string-equal after normalization
+            _qi("c", [("Completely Different", ())]),
+        ]
+        mapping = match_interfaces(interfaces, comparator)
+        assert len({c.name for c in mapping.clusters}) == len(mapping)

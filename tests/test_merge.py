@@ -1,0 +1,157 @@
+"""Merge substrate: the integrated tree's guarantees and determinism."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import load_domain
+from repro.merge import merge_interfaces
+from repro.merge.order import average_position, cluster_positions
+from repro.schema.clusters import Mapping
+from repro.schema.interface import QueryInterface, make_field, make_group
+from repro.schema.serialize import node_to_dict
+from repro.schema.tree import SchemaNode
+
+
+def _two_source_corpus():
+    interfaces = []
+    mapping = Mapping()
+
+    def add(name, groups):
+        top = []
+        for glabel, fields in groups:
+            nodes = []
+            for cluster, label in fields:
+                node = make_field(label, cluster=cluster, name=f"{name}:{cluster}")
+                nodes.append(node)
+                mapping.assign(cluster, name, node)
+            top.append(make_group(glabel, nodes, name=f"{name}:{glabel}"))
+        interfaces.append(
+            QueryInterface(name, SchemaNode(None, top, name=f"{name}:root"))
+        )
+
+    add("s1", [("Route", [("c_from", "From"), ("c_to", "To")]),
+               ("Dates", [("c_depart", "Depart"), ("c_return", "Return")])])
+    add("s2", [("Route", [("c_from", "From"), ("c_to", "To")]),
+               ("Dates", [("c_depart", "Depart"), ("c_return", "Return")])])
+    return interfaces, mapping
+
+
+class TestMergeGuarantees:
+    def test_each_cluster_exactly_one_leaf(self):
+        interfaces, mapping = _two_source_corpus()
+        root = merge_interfaces(interfaces, mapping)
+        clusters = [leaf.cluster for leaf in root.leaves()]
+        assert sorted(clusters) == ["c_depart", "c_from", "c_return", "c_to"]
+
+    def test_grouping_constraint_honored(self):
+        interfaces, mapping = _two_source_corpus()
+        root = merge_interfaces(interfaces, mapping)
+        # From/To share a parent; Depart/Return share a parent; the two
+        # parents differ.
+        from_leaf = root.find_by_cluster("c_from")
+        to_leaf = root.find_by_cluster("c_to")
+        depart_leaf = root.find_by_cluster("c_depart")
+        assert from_leaf.parent is to_leaf.parent
+        assert from_leaf.parent is not depart_leaf.parent
+
+    def test_tree_validates_and_unlabeled(self):
+        interfaces, mapping = _two_source_corpus()
+        root = merge_interfaces(interfaces, mapping)
+        root.validate()
+        assert all(not node.is_labeled for node in root.walk())
+
+    def test_requires_one_to_one_mapping(self):
+        interfaces, mapping = _two_source_corpus()
+        extra = interfaces[0].root.find_by_cluster(None)  # no-op lookup
+        field = interfaces[0].root.leaves()[0]
+        mapping.get_or_create("c_dup").add("s1", field)
+        with pytest.raises(ValueError):
+            merge_interfaces(interfaces, mapping)
+
+    def test_empty_mapping(self):
+        root = merge_interfaces([], Mapping())
+        assert root.is_leaf and root.cluster is None
+
+    def test_leaf_instances_are_source_union(self):
+        interfaces, mapping = _two_source_corpus()
+        field = mapping["c_from"].members["s1"]
+        field.instances = ("NYC", "LON")
+        other = mapping["c_from"].members["s2"]
+        other.instances = ("LON", "SEL")
+        root = merge_interfaces(interfaces, mapping)
+        assert set(root.find_by_cluster("c_from").instances) == {
+            "NYC", "LON", "SEL"
+        }
+
+
+class TestAncestorDescendantPreservation:
+    def test_supergroup_preserved(self):
+        interfaces = []
+        mapping = Mapping()
+        for name in ("s1", "s2"):
+            route_fields = []
+            for cluster, label in [("c_from", "From"), ("c_to", "To")]:
+                node = make_field(label, cluster=cluster, name=f"{name}:{cluster}")
+                route_fields.append(node)
+                mapping.assign(cluster, name, node)
+            date_fields = []
+            for cluster, label in [("c_depart", "Depart"), ("c_return", "Return")]:
+                node = make_field(label, cluster=cluster, name=f"{name}:{cluster}")
+                date_fields.append(node)
+                mapping.assign(cluster, name, node)
+            where = make_group("Where", route_fields, name=f"{name}:where")
+            when = make_group("When", date_fields, name=f"{name}:when")
+            super_node = make_group("Trip", [where, when], name=f"{name}:trip")
+            other = make_field("Promo", cluster="c_promo", name=f"{name}:promo")
+            mapping.assign("c_promo", name, other)
+            interfaces.append(
+                QueryInterface(
+                    name, SchemaNode(None, [super_node, other], name=f"{name}:r")
+                )
+            )
+        root = merge_interfaces(interfaces, mapping)
+        # The super-group ancestor relation survives: From and Depart share
+        # an ancestor below the root; Promo does not join them.
+        from_leaf = root.find_by_cluster("c_from")
+        depart_leaf = root.find_by_cluster("c_depart")
+        promo_leaf = root.find_by_cluster("c_promo")
+        from_ancestors = set(id(a) for a in from_leaf.ancestors()) - {id(root)}
+        depart_ancestors = set(id(a) for a in depart_leaf.ancestors()) - {id(root)}
+        promo_ancestors = set(id(a) for a in promo_leaf.ancestors()) - {id(root)}
+        assert from_ancestors & depart_ancestors
+        assert not (promo_ancestors & from_ancestors)
+
+
+class TestDeterminismOnCorpus:
+    @pytest.mark.parametrize("domain", ["auto", "job"])
+    def test_same_seed_same_tree(self, domain):
+        first = load_domain(domain, seed=7).integrated()
+        second = load_domain(domain, seed=7).integrated()
+        assert node_to_dict(first) == node_to_dict(second)
+
+    def test_different_seeds_differ(self):
+        a = load_domain("auto", seed=1).integrated()
+        b = load_domain("auto", seed=2).integrated()
+        assert node_to_dict(a) != node_to_dict(b)
+
+
+class TestOrdering:
+    def test_cluster_positions_normalized(self):
+        interfaces, mapping = _two_source_corpus()
+        positions = cluster_positions(interfaces)
+        assert all(0.0 <= p <= 1.0 for ps in positions.values() for p in ps)
+        assert positions["c_from"] == [0.0, 0.0]
+
+    def test_average_position_unknown_cluster(self):
+        assert average_position(["ghost"], {}) == 1.0
+
+    def test_majority_order_respected(self):
+        interfaces, mapping = _two_source_corpus()
+        root = merge_interfaces(interfaces, mapping)
+        clusters = [leaf.cluster for leaf in root.leaves()]
+        # Sources list route before dates.
+        assert clusters.index("c_from") < clusters.index("c_depart")
+        assert clusters.index("c_from") < clusters.index("c_to")

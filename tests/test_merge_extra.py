@@ -1,0 +1,111 @@
+"""Merge internals: laminar constraint selection and conflict resolution."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.merge.merger import _laminar_family, merge_interfaces
+from repro.schema.clusters import Mapping
+from repro.schema.interface import QueryInterface, make_field, make_group
+from repro.schema.tree import SchemaNode
+
+
+def _component(*names):
+    return frozenset(names)
+
+
+class TestLaminarFamily:
+    def test_nested_subset_dropped(self):
+        a, b, c, d = (
+            _component("w"), _component("x"), _component("y"), _component("z")
+        )
+        constraints = Counter({
+            frozenset({a, b, c}): 3,
+            frozenset({a, b}): 2,       # nested inside the first -> flattened
+        })
+        kept = _laminar_family(constraints, {a, b, c, d})
+        assert kept == [frozenset({a, b, c})]
+
+    def test_crossing_majority_wins(self):
+        a, b, c = _component("x"), _component("y"), _component("z")
+        constraints = Counter({
+            frozenset({a, b}): 5,       # majority
+            frozenset({b, c}): 2,       # crosses the first -> dropped
+        })
+        kept = _laminar_family(constraints, {a, b, c})
+        assert kept == [frozenset({a, b})]
+
+    def test_disjoint_constraints_coexist(self):
+        a, b, c, d = (
+            _component("w"), _component("x"), _component("y"), _component("z")
+        )
+        constraints = Counter({
+            frozenset({a, b}): 2,
+            frozenset({c, d}): 2,
+        })
+        kept = _laminar_family(constraints, {a, b, c, d})
+        assert sorted(kept, key=len) == sorted(
+            [frozenset({a, b}), frozenset({c, d})], key=len
+        )
+
+    def test_full_universe_constraint_ignored(self):
+        a, b = _component("x"), _component("y")
+        constraints = Counter({frozenset({a, b}): 9})
+        kept = _laminar_family(constraints, {a, b})
+        # {a, b} IS the universe here — it would duplicate the root.
+        assert kept == []
+
+    def test_singleton_constraints_ignored(self):
+        a, b = _component("x"), _component("y")
+        constraints = Counter({frozenset({a}): 4})
+        assert _laminar_family(constraints, {a, b}) == []
+
+
+class TestConflictingSources:
+    def test_majority_grouping_wins(self):
+        """Three sources group A with B; one groups B with C.  The merged
+        tree follows the majority ("as much as possible")."""
+        interfaces = []
+        mapping = Mapping()
+
+        def add(name, pairs):
+            top = []
+            for glabel, fields in pairs:
+                nodes = []
+                for cluster, label in fields:
+                    node = make_field(label, cluster=cluster, name=f"{name}:{cluster}")
+                    nodes.append(node)
+                    mapping.assign(cluster, name, node)
+                top.append(make_group(glabel, nodes, name=f"{name}:{glabel}"))
+            interfaces.append(
+                QueryInterface(name, SchemaNode(None, top, name=f"{name}:r"))
+            )
+
+        for name in ("s1", "s2", "s3"):
+            add(name, [("AB", [("c_a", "Alpha"), ("c_b", "Beta")]),
+                       ("C", [("c_c", "Gamma"), ("c_d", "Delta")])])
+        add("s4", [("BC", [("c_b", "Beta"), ("c_c", "Gamma")]),
+                   ("A", [("c_a", "Alpha"), ("c_d", "Delta")])])
+
+        root = merge_interfaces(interfaces, mapping)
+        a = root.find_by_cluster("c_a")
+        b = root.find_by_cluster("c_b")
+        c = root.find_by_cluster("c_c")
+        assert a.parent is b.parent
+        assert c.parent is not b.parent
+
+    def test_single_interface_merge_is_projection(self):
+        mapping = Mapping()
+        fields = []
+        for cluster, label in [("c_x", "X"), ("c_y", "Y")]:
+            node = make_field(label, cluster=cluster, name=f"s:{cluster}")
+            fields.append(node)
+            mapping.assign(cluster, "s", node)
+        qi = QueryInterface(
+            "s",
+            SchemaNode(None, [make_group("G", fields, name="s:g")], name="s:r"),
+        )
+        root = merge_interfaces([qi], mapping)
+        assert sorted(l.cluster for l in root.leaves()) == ["c_x", "c_y"]
+        # The single source's group survives as one integrated group.
+        assert root.leaves()[0].parent is root.leaves()[1].parent

@@ -1,0 +1,87 @@
+"""Base-form recovery (morphy analog): irregulars, detachment, vocab checks."""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lexicon.morphology import IRREGULAR_FORMS, base_form
+
+
+@pytest.mark.parametrize(
+    "token,expected",
+    [
+        ("children", "child"),
+        ("people", "person"),
+        ("Preferred", "prefer"),
+        ("departing", "depart"),
+        ("leaving", "leave"),
+        ("going", "go"),
+        ("cities", "city"),
+        ("properties", "property"),
+        ("amenities", "amenity"),
+    ],
+)
+def test_irregular_forms(token, expected):
+    assert base_form(token) == expected
+
+
+def test_irregulars_bypass_vocabulary_check():
+    # Even with a vocabulary that knows nothing, irregulars resolve.
+    assert base_form("children", is_known=lambda w: False) == "child"
+
+
+class TestDetachmentWithVocabulary:
+    vocab = {"adult", "room", "stop", "class", "address", "bus", "match", "wish"}
+
+    def test_plural_s(self):
+        assert base_form("adults", self.vocab) == "adult"
+        assert base_form("rooms", self.vocab) == "room"
+
+    def test_es_forms(self):
+        assert base_form("buses", self.vocab) == "bus"
+        assert base_form("matches", self.vocab) == "match"
+        assert base_form("wishes", self.vocab) == "wish"
+
+    def test_known_word_returned_as_is(self):
+        assert base_form("class", self.vocab) == "class"
+
+    def test_unknown_unresolvable_returned_unchanged(self):
+        assert base_form("zzzqqq", self.vocab) == "zzzqqq"
+
+    def test_candidate_rejected_when_not_in_vocabulary(self):
+        # "axes" -> "axe" not in vocab, "ax" not in vocab -> falls through
+        # rules until nothing validates, then returns the input.
+        assert base_form("floopses", self.vocab) == "floopses"
+
+    def test_container_vocabulary_accepted(self):
+        assert base_form("stops", self.vocab) == "stop"
+
+    def test_callable_vocabulary_accepted(self):
+        assert base_form("stops", lambda w: w == "stop") == "stop"
+
+
+def test_without_vocabulary_first_rule_wins():
+    # No validation: the first matching detachment applies.
+    assert base_form("adults") == "adult"
+    assert base_form("going") == "go"  # via irregulars
+
+
+def test_never_returns_single_character():
+    # Candidates shorter than 2 characters are skipped.
+    assert base_form("as", lambda w: True) == "as"
+
+
+@given(st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=20))
+def test_total_and_lowercase(token):
+    result = base_form(token)
+    assert result == result.lower()
+    assert isinstance(result, str) and result
+
+
+@given(st.sampled_from(sorted(IRREGULAR_FORMS)))
+def test_all_irregulars_resolve_to_their_base(token):
+    assert base_form(token) == IRREGULAR_FORMS[token]

@@ -1,0 +1,114 @@
+"""Label normalization: the two-step process of paper Section 3.1."""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lexicon.normalize import Token, content_tokens, display_form, tokenize
+from repro.lexicon.stopwords import STOP_WORDS, is_stop_word
+
+
+class TestDisplayForm:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("Adults (18-64)", "Adults"),          # paper's comment example
+            ("Price $", "Price"),                  # paper's punctuation example
+            ("Check-in", "Check in"),
+            ("Make/Model", "Make Model"),
+            ("  spaced   out  ", "spaced out"),
+            ("Seniors [65+]", "Seniors"),
+            ("Guests {2}", "Guests"),
+            ("plain", "plain"),
+            ("", ""),
+        ],
+    )
+    def test_examples(self, raw, expected):
+        assert display_form(raw) == expected
+
+    def test_preserves_case(self):
+        assert display_form("Zip Code") == "Zip Code"
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Area of Study") == ["area", "of", "study"]
+
+    def test_strips_comments_first(self):
+        assert tokenize("Adults (18-64)") == ["adults"]
+
+
+class TestContentTokens:
+    def test_paper_question_example(self, wordnet):
+        # Section 5.1.2: "Do you have any preferences?" -> {prefer}
+        tokens = content_tokens("Do you have any preferences?", wordnet)
+        assert [t.stem for t in tokens] == ["prefer"]
+
+    def test_table4_equality_pair(self, wordnet):
+        a = content_tokens("Airline Preference", wordnet)
+        b = content_tokens("Preferred Airline", wordnet)
+        assert {t.stem for t in a} == {t.stem for t in b}
+
+    def test_all_stopword_label_keeps_tokens(self, wordnet):
+        # "From" must not collapse to an empty (and hence universal) set.
+        tokens = content_tokens("From", wordnet)
+        assert [t.surface for t in tokens] == ["from"]
+
+    def test_deduplicates_by_stem(self, wordnet):
+        tokens = content_tokens("price price Prices", wordnet)
+        assert len(tokens) == 1
+
+    def test_order_preserved(self, wordnet):
+        tokens = content_tokens("Area of Study", wordnet)
+        assert [t.surface for t in tokens] == ["area", "study"]
+
+    def test_without_wordnet_falls_back_to_plain_morphology(self):
+        tokens = content_tokens("Children going")
+        assert {t.lemma for t in tokens} == {"child", "go"}
+
+
+class TestToken:
+    def test_equality_is_stem_equality(self):
+        a = Token("preference", "preference", "prefer")
+        b = Token("preferred", "prefer", "prefer")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        a = Token("city", "city", "citi")
+        b = Token("state", "state", "state")
+        assert a != b
+
+    def test_not_equal_to_other_types(self):
+        token = Token("x", "x", "x")
+        assert token != "x"
+
+
+class TestStopWords:
+    def test_membership(self):
+        assert is_stop_word("the")
+        assert is_stop_word("OF")
+        assert not is_stop_word("airline")
+
+    def test_question_words_included(self):
+        for word in ("do", "you", "have", "any", "where", "when"):
+            assert word in STOP_WORDS
+
+
+@given(st.text(alphabet=string.printable, max_size=60))
+def test_display_form_never_crashes_and_is_clean(raw):
+    result = display_form(raw)
+    assert "  " not in result
+    assert result == result.strip()
+    assert all(ch.isalnum() or ch == " " for ch in result)
+
+
+@given(st.text(alphabet=string.ascii_letters + " -/()", max_size=50))
+def test_content_tokens_unique_stems(raw):
+    tokens = content_tokens(raw)
+    stems = [t.stem for t in tokens]
+    assert len(stems) == len(set(stems))

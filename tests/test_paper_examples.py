@@ -1,0 +1,196 @@
+"""Integration tests reproducing the paper's worked examples (Tables 1-5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.consistency import ConsistencyLevel
+from repro.core.group_relation import GroupRelation
+from repro.core.internal_nodes import CandidateFinder
+from repro.core.solutions import name_group
+from repro.schema.clusters import Mapping
+from repro.schema.interface import QueryInterface, make_field, make_group
+from repro.schema.tree import SchemaNode
+
+from .conftest import build_group_corpus, regular_group
+
+
+class TestTable1:
+    """Table 1 + Figure 2: the airline clusters with the 1:m Passengers."""
+
+    def _corpus(self):
+        mapping = Mapping()
+        interfaces = []
+
+        def schema(name, fields, passengers=False):
+            nodes = []
+            for cluster, label in fields:
+                node = make_field(label, cluster=cluster, name=f"{name}:{cluster}")
+                nodes.append(node)
+                mapping.assign(cluster, name, node)
+            if passengers:
+                node = make_field("Passengers", name=f"{name}:passengers")
+                for cluster in ("c_senior", "c_adult", "c_child", "c_infant"):
+                    mapping.assign(cluster, name, node)
+                nodes.append(node)
+            root = SchemaNode(
+                None, [make_group(None, nodes, name=f"{name}:g")], name=f"{name}:r"
+            )
+            interfaces.append(QueryInterface(name, root))
+
+        schema("s1", [
+            ("c_depart", "Departing from"), ("c_dest", "Going to"),
+            ("c_senior", "Seniors"), ("c_adult", "Adults"),
+            ("c_child", "Children"),
+        ])
+        schema("s2", [
+            ("c_depart", "From"), ("c_dest", "To"),
+            ("c_adult", "Adults"), ("c_child", "Children"),
+            ("c_infant", "Infants"),
+        ])
+        schema("s3", [
+            ("c_depart", "Leaving from"), ("c_dest", "Going to"),
+        ], passengers=True)
+        return interfaces, mapping
+
+    def test_clusters_before_reduction(self):
+        interfaces, mapping = self._corpus()
+        # Passengers sits in all four passenger clusters (the 1:m row).
+        passenger_node = mapping["c_adult"].members["s3"]
+        assert mapping.clusters_of("s3", passenger_node) == [
+            "c_senior", "c_adult", "c_child", "c_infant"
+        ]
+
+    def test_reduction_removes_passengers_from_clusters(self):
+        interfaces, mapping = self._corpus()
+        records = mapping.expand_one_to_many(interfaces)
+        assert [r.field_label for r in records] == ["Passengers"]
+        # "Passengers" becomes an internal node, candidate material for
+        # internal labels, and leaves every cluster.
+        for cluster_name in ("c_senior", "c_adult", "c_child", "c_infant"):
+            member = mapping[cluster_name].members["s3"]
+            assert member.is_leaf and not member.is_labeled
+        s3 = interfaces[2]
+        expanded = s3.root.find_by_name("s3:passengers")
+        assert expanded.is_internal and expanded.label == "Passengers"
+        # ... and the expanded node is visible to the candidate machinery.
+        finder = CandidateFinder(interfaces, mapping, __import__(
+            "repro.core.semantics", fromlist=["SemanticComparator"]
+        ).SemanticComparator())
+        assert any(sn.label == "Passengers" for sn in finder.source_nodes)
+
+
+class TestTable2:
+    def test_consistent_solution(self, comparator, table2_corpus):
+        __, mapping, group = table2_corpus
+        relation = GroupRelation.from_mapping(group, mapping)
+        result = name_group(relation, comparator)
+        assert result.consistent and result.level is ConsistencyLevel.STRING
+        assert list(result.best.labels.values()) == [
+            "Seniors", "Adults", "Children", "Infants"
+        ]
+
+
+class TestTable3:
+    def test_partially_consistent_solution(self, comparator, table3_corpus):
+        __, mapping, group = table3_corpus
+        relation = GroupRelation.from_mapping(group, mapping)
+        result = name_group(relation, comparator)
+        assert not result.consistent
+        assert list(result.solutions[0].labels.values()) == [
+            "State", "City", "Zip Code", "Distance"
+        ]
+
+
+class TestTable4:
+    def test_equality_level_consistency(self, comparator, table4_corpus):
+        """(null, Class of Ticket, Preferred Airline) and (Max. Number of
+        Stops, null, Airline Preference) are equality-level consistent."""
+        from repro.core.consistency import tuples_consistent
+
+        __, mapping, group = table4_corpus
+        relation = GroupRelation.from_mapping(group, mapping)
+        alldest = relation.tuple_of("alldest")
+        cheap = relation.tuple_of("cheap")
+        assert not tuples_consistent(
+            alldest, cheap, ConsistencyLevel.STRING, comparator
+        )
+        assert tuples_consistent(
+            alldest, cheap, ConsistencyLevel.EQUALITY, comparator
+        )
+
+    def test_group_resolves(self, comparator, table4_corpus):
+        __, mapping, group = table4_corpus
+        relation = GroupRelation.from_mapping(group, mapping)
+        result = name_group(relation, comparator)
+        assert result.consistent
+
+
+class TestTable5:
+    """Vertical consistency in the auto domain (Table 5 + Figure 6)."""
+
+    def _corpus(self):
+        mapping = Mapping()
+        interfaces = []
+
+        def schema(name, year_fields, car_fields, super_label=None,
+                   year_label=None, car_label=None):
+            def group_of(fields, label, tag):
+                nodes = []
+                for cluster, field_label in fields:
+                    node = make_field(
+                        field_label, cluster=cluster, name=f"{name}:{cluster}"
+                    )
+                    nodes.append(node)
+                    mapping.assign(cluster, name, node)
+                return make_group(label, nodes, name=f"{name}:{tag}")
+
+            sections = []
+            if year_fields:
+                sections.append(group_of(year_fields, year_label, "year"))
+            if car_fields:
+                sections.append(group_of(car_fields, car_label, "car"))
+            if super_label and len(sections) > 1:
+                sections = [make_group(super_label, sections, name=f"{name}:sup")]
+            interfaces.append(
+                QueryInterface(
+                    name, SchemaNode(None, sections, name=f"{name}:r")
+                )
+            )
+
+        schema("i1", [("c_from", "Min"), ("c_to", "Max")],
+               [("c_make", "Brand"), ("c_model", "Model")],
+               year_label="Year Range")
+        schema("i2", [("c_from", "Year"), ("c_to", "To Year")],
+               [("c_make", "Make"), ("c_model", "Model")],
+               super_label="Car Information")
+        schema("i3", [("c_from", "From"), ("c_to", "To")],
+               [("c_make", "Make"), ("c_model", "Model"),
+                ("c_keyword", "Keyword")],
+               year_label="Year Range", car_label="Make/Model")
+        return interfaces, mapping
+
+    def test_car_information_is_candidate_for_lca(self, comparator):
+        interfaces, mapping = self._corpus()
+        finder = CandidateFinder(interfaces, mapping, comparator)
+        leaves = [
+            SchemaNode(None, cluster=c, name=f"l:{c}")
+            for c in ("c_from", "c_to", "c_make", "c_model", "c_keyword")
+        ]
+        year = SchemaNode(None, leaves[:2], name="int:year")
+        car = SchemaNode(None, leaves[2:], name="int:car")
+        lca = SchemaNode(None, [year, car], name="int:lca")
+        SchemaNode(None, [lca], name="int:root")
+        candidates = finder.candidates_for(lca)
+        assert "Car Information" in [c.text for c in candidates]
+
+    def test_year_range_is_candidate_for_year_group(self, comparator):
+        interfaces, mapping = self._corpus()
+        finder = CandidateFinder(interfaces, mapping, comparator)
+        leaves = [
+            SchemaNode(None, cluster=c, name=f"l:{c}") for c in ("c_from", "c_to")
+        ]
+        year = SchemaNode(None, leaves, name="int:year")
+        SchemaNode(None, [year], name="int:root")
+        candidates = finder.candidates_for(year)
+        assert "Year Range" in [c.text for c in candidates]

@@ -1,0 +1,192 @@
+"""The three-phase naming pipeline end to end on constructed domains."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import NamingOptions, label_integrated_interface
+from repro.core.result import NodeStatus, TreeConsistency
+from repro.schema.clusters import Mapping
+from repro.schema.interface import QueryInterface, make_field, make_group
+from repro.schema.tree import SchemaNode
+
+
+def _mini_domain():
+    """Three airline-ish sources with a passenger group + a service field."""
+    interfaces = []
+    mapping = Mapping()
+
+    def add(name, group_label, fields, extra=None):
+        nodes = []
+        for cluster, label in fields:
+            node = make_field(label, cluster=cluster, name=f"{name}:{cluster}")
+            nodes.append(node)
+            mapping.assign(cluster, name, node)
+        top = [make_group(group_label, nodes, name=f"{name}:grp")]
+        if extra:
+            cluster, label = extra
+            node = make_field(label, cluster=cluster, name=f"{name}:{cluster}")
+            mapping.assign(cluster, name, node)
+            top.append(node)
+        interfaces.append(
+            QueryInterface(name, SchemaNode(None, top, name=f"{name}:root"))
+        )
+
+    add("s1", "Passengers",
+        [("c_adult", "Adults"), ("c_child", "Children")],
+        extra=("c_promo", "Promo Code"))
+    add("s2", "How many people are going?",
+        [("c_adult", "Adults"), ("c_child", "Children"), ("c_senior", "Seniors")])
+    add("s3", "Travelers",
+        [("c_adult", "Adult"), ("c_senior", "Senior")],
+        extra=("c_promo", "Promotion Code"))
+
+    # Integrated tree: one group + a root leaf.
+    leaves = [
+        SchemaNode(None, cluster=c, name=f"leaf:{c}")
+        for c in ("c_adult", "c_senior", "c_child")
+    ]
+    group_node = SchemaNode(None, leaves, name="int:passengers")
+    promo = SchemaNode(None, cluster="c_promo", name="leaf:c_promo")
+    root = SchemaNode(None, [group_node, promo], name="int:root")
+    return interfaces, mapping, root
+
+
+class TestPipelineHappyPath:
+    def test_labels_assigned(self, comparator):
+        interfaces, mapping, root = _mini_domain()
+        result = label_integrated_interface(root, interfaces, mapping, comparator)
+        assert result.field_labels["c_adult"] == "Adults"
+        assert result.field_labels["c_child"] == "Children"
+        assert result.field_labels["c_senior"] == "Seniors"
+        assert result.field_labels["c_promo"] in {"Promo Code", "Promotion Code"}
+        # The group's internal node gets a source section label.
+        group_label = result.node_labels["int:passengers"]
+        assert group_label in {
+            "Passengers", "How many people are going?", "Travelers"
+        }
+
+    def test_labels_written_onto_tree(self, comparator):
+        interfaces, mapping, root = _mini_domain()
+        label_integrated_interface(root, interfaces, mapping, comparator)
+        assert root.find_by_cluster("c_adult").label == "Adults"
+        assert root.find_by_name("int:passengers").is_labeled
+
+    def test_classification_consistent(self, comparator):
+        interfaces, mapping, root = _mini_domain()
+        result = label_integrated_interface(root, interfaces, mapping, comparator)
+        assert result.classification in (
+            TreeConsistency.CONSISTENT, TreeConsistency.WEAKLY_CONSISTENT
+        )
+        assert result.node_status["int:passengers"] in (
+            NodeStatus.CONSISTENT, NodeStatus.WEAKLY_CONSISTENT
+        )
+
+    def test_definition6_narrows_group_solution(self, comparator):
+        """The internal label's origin row must lie in the chosen solution's
+        partition (the cross-stage correlation of Section 4.3)."""
+        interfaces, mapping, root = _mini_domain()
+        result = label_integrated_interface(root, interfaces, mapping, comparator)
+        group_name = "group:int:passengers"
+        chosen = result.chosen_solutions[group_name]
+        label = result.node_labels["int:passengers"]
+        origin = {
+            "Passengers": "s1",
+            "How many people are going?": "s2",
+            "Travelers": "s3",
+        }[label]
+        relation = result.group_results[group_name].relation
+        row = relation.tuple_of(origin)
+        if chosen.partition is not None and row is not None:
+            assert origin in chosen.supplying_interfaces()
+
+    def test_summary_renders(self, comparator):
+        interfaces, mapping, root = _mini_domain()
+        result = label_integrated_interface(root, interfaces, mapping, comparator)
+        text = result.summary()
+        assert "classification" in text and "fields labeled" in text
+
+
+class TestPathBlocking:
+    def test_candidate_used_by_ancestor_is_skipped(self, comparator):
+        """Proposition 2 / the Car-Rental promotion phenomenon: a node whose
+        only candidate was consumed by an ancestor stays unlabeled."""
+        interfaces = []
+        mapping = Mapping()
+        # Both the outer and inner sections are called "Vehicle" in sources.
+        inner_fields = [("c_make", "Make"), ("c_model", "Model")]
+        outer_extra = ("c_class", "Class")
+
+        for name in ("s1", "s2"):
+            inner_nodes = []
+            for cluster, label in inner_fields:
+                node = make_field(label, cluster=cluster, name=f"{name}:{cluster}")
+                inner_nodes.append(node)
+                mapping.assign(cluster, name, node)
+            inner = make_group("Vehicle", inner_nodes, name=f"{name}:inner")
+            extra = make_field(
+                outer_extra[1], cluster=outer_extra[0], name=f"{name}:{outer_extra[0]}"
+            )
+            mapping.assign(outer_extra[0], name, extra)
+            outer = make_group("Vehicle", [inner, extra], name=f"{name}:outer")
+            interfaces.append(
+                QueryInterface(name, SchemaNode(None, [outer], name=f"{name}:root"))
+            )
+
+        inner_leaves = [
+            SchemaNode(None, cluster=c, name=f"leaf:{c}") for c, __ in inner_fields
+        ]
+        inner_node = SchemaNode(None, inner_leaves, name="int:inner")
+        class_leaf = SchemaNode(None, cluster="c_class", name="leaf:c_class")
+        outer_node = SchemaNode(None, [inner_node, class_leaf], name="int:outer")
+        root = SchemaNode(None, [outer_node], name="int:root")
+
+        result = label_integrated_interface(root, interfaces, mapping, comparator)
+        assert result.node_labels["int:outer"] == "Vehicle"
+        assert result.node_labels["int:inner"] is None
+        assert result.node_status["int:inner"] is NodeStatus.UNLABELED_BLOCKED
+        assert result.classification is TreeConsistency.INCONSISTENT
+
+
+class TestOptions:
+    def test_repair_homonyms_flag(self, comparator):
+        interfaces, mapping, root = _mini_domain()
+        options = NamingOptions(repair_homonyms=False)
+        result = label_integrated_interface(
+            root, interfaces, mapping, comparator, options=options
+        )
+        assert result.repairs == []
+
+    def test_keep_inference_events_false(self, comparator):
+        interfaces, mapping, root = _mini_domain()
+        options = NamingOptions(keep_inference_events=False)
+        result = label_integrated_interface(
+            root, interfaces, mapping, comparator, options=options
+        )
+        assert result.inference_log.events == []
+
+
+class TestMetrics:
+    def test_field_and_node_accuracy(self, comparator):
+        from repro.core.metrics import (
+            fields_consistency_accuracy,
+            internal_nodes_accuracy,
+        )
+
+        interfaces, mapping, root = _mini_domain()
+        result = label_integrated_interface(root, interfaces, mapping, comparator)
+        assert fields_consistency_accuracy(result) == 1.0
+        assert internal_nodes_accuracy(result) == 1.0
+
+    def test_integrated_stats(self, comparator):
+        from repro.core.metrics import integrated_stats
+
+        interfaces, mapping, root = _mini_domain()
+        result = label_integrated_interface(root, interfaces, mapping, comparator)
+        stats = integrated_stats(result)
+        assert stats.leaves == 4
+        assert stats.groups == 1
+        assert stats.root_leaves == 1
+        assert stats.isolated_leaves == 0
+        assert stats.internal_nodes == 1
+        assert stats.depth == 3

@@ -1,0 +1,186 @@
+"""Porter stemmer: canonical vocabulary, measure function, properties."""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lexicon.porter import PorterStemmer, stem
+
+# (word, expected stem) pairs drawn from Porter's published example lists
+# and from the paper's own normalization examples.
+CANONICAL = [
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    ("happy", "happi"),
+    ("sky", "sky"),
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", CANONICAL)
+def test_canonical_vocabulary(word, expected):
+    assert stem(word) == expected
+
+
+def test_paper_example_preference_preferred():
+    """Table 4's linchpin: Preference and Preferred share the stem prefer."""
+    assert stem("preference") == "prefer"
+    assert stem("preferred") == "prefer"
+
+
+def test_short_words_unchanged():
+    for word in ("a", "at", "go", "is"):
+        assert stem(word) == word
+
+
+def test_lowercases_input():
+    assert stem("Preference") == "prefer"
+    assert stem("ADULTS") == "adult"
+
+
+class TestMeasure:
+    stemmer = PorterStemmer()
+
+    @pytest.mark.parametrize(
+        "word,m",
+        [
+            ("tr", 0), ("ee", 0), ("tree", 0), ("y", 0), ("by", 0),
+            ("trouble", 1), ("oats", 1), ("trees", 1), ("ivy", 1),
+            ("troubles", 2), ("private", 2), ("oaten", 2), ("orrery", 2),
+        ],
+    )
+    def test_porter_published_measures(self, word, m):
+        assert self.stemmer.measure(word) == m
+
+    def test_y_as_consonant_at_start(self):
+        # "y" at word start is a consonant; after a vowel it is too.
+        assert self.stemmer._is_consonant("yes", 0)
+        assert self.stemmer._is_consonant("say", 2)
+        # After a consonant it acts as a vowel.
+        assert not self.stemmer._is_consonant("sky", 2)
+
+
+@given(st.text(alphabet=string.ascii_letters, min_size=1, max_size=30))
+def test_stem_never_grows_and_stays_lower(word):
+    result = stem(word)
+    assert len(result) <= len(word)
+    assert result == result.lower()
+
+
+@given(st.text(alphabet=string.ascii_lowercase, min_size=3, max_size=20))
+def test_stem_is_deterministic(word):
+    assert stem(word) == stem(word)
+
+
+@given(st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=25))
+def test_stem_total_function(word):
+    """No input of letters crashes the stemmer."""
+    assert isinstance(stem(word), str)
+
+
+# A second slab of Porter's published vocabulary, exercising steps 2-4 more
+# broadly than the core list above.
+EXTENDED = [
+    ("relate", "relat"),
+    ("probable", "probabl"),
+    ("conflated", "conflat"),
+    ("matting", "mat"),
+    ("mating", "mate"),
+    ("meetings", "meet"),
+    ("siezed", "siez"),
+    ("bled", "bled"),
+    ("sky", "sky"),
+    ("singing", "sing"),
+    ("generalizations", "gener"),
+    ("oscillators", "oscil"),
+    ("mulliner", "mullin"),
+    ("conditional", "condit"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("grossness", "gross"),
+    ("derivate", "deriv"),
+    ("activity", "activ"),
+    ("dependent", "depend"),
+    ("engineering", "engin"),
+    ("controlling", "control"),
+    ("rolling", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", EXTENDED)
+def test_extended_vocabulary(word, expected):
+    assert stem(word) == expected

@@ -1,0 +1,76 @@
+"""The Markdown run-report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiment import run_domain
+from repro.report import domain_report
+
+
+@pytest.fixture(scope="module")
+def auto_run():
+    return run_domain("auto", seed=0)
+
+
+class TestDomainReport:
+    def test_contains_all_sections(self, auto_run):
+        report = domain_report(auto_run)
+        for heading in (
+            "# Labeling report — auto",
+            "## Corpus",
+            "## The labeled integrated interface",
+            "## Group naming",
+            "## Internal nodes (vertical consistency)",
+            "## Inference rules",
+            "## Survey",
+        ):
+            assert heading in report
+
+    def test_metrics_line(self, auto_run):
+        report = domain_report(auto_run)
+        assert "*FldAcc:* 100.0%" in report
+        assert "**weakly_consistent**" in report
+
+    def test_group_relations_rendered(self, auto_run):
+        report = domain_report(auto_run)
+        # Some group relation table appears as a code block with interfaces.
+        assert "auto-" in report
+        assert "consistent at the string level" in report
+
+    def test_labeled_tree_included(self, auto_run):
+        report = domain_report(auto_run)
+        assert "[c_make]" in report
+
+    def test_isolated_section_when_present(self, auto_run):
+        report = domain_report(auto_run)
+        if auto_run.labeling.isolated_outcomes:
+            assert "## Isolated clusters (RAN variant)" in report
+
+    def test_repairs_listed_when_present(self):
+        # Airline tends to trigger homonym repairs (Return From / Return To).
+        run = run_domain("airline", seed=0)
+        report = domain_report(run)
+        if run.labeling.repairs:
+            assert "### Homonym repairs" in report
+
+    def test_survey_flags_listed(self):
+        run = run_domain("airline", seed=0)
+        report = domain_report(run)
+        if run.study.flag_counts:
+            assert "flagged fields (votes):" in report
+        else:
+            assert "nobody flagged anything" in report
+
+
+class TestReportCli:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report", "job"]) == 0
+        out = capsys.readouterr().out
+        assert "# Labeling report — job" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "r.md"
+        assert main(["report", "job", "-o", str(target)]) == 0
+        assert target.read_text().startswith("# Labeling report — job")

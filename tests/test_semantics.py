@@ -1,0 +1,151 @@
+"""Definition 1 — label relations, using the paper's own examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.semantics import LabelRelation
+
+
+class TestStringEqual:
+    def test_paper_example(self, comparator):
+        assert comparator.string_equal("From", "From")
+
+    def test_case_insensitive(self, comparator):
+        assert comparator.string_equal("zip code", "Zip Code")
+
+    def test_comment_stripped(self, comparator):
+        assert comparator.string_equal("Adults (18-64)", "Adults")
+
+    def test_different(self, comparator):
+        assert not comparator.string_equal("From", "To")
+
+
+class TestEqual:
+    def test_paper_example(self, comparator):
+        # "Type of Job equals Job Type"
+        assert comparator.equal("Type of Job", "Job Type")
+
+    def test_stemmed_equality(self, comparator):
+        # Table 4: Preferred Airline ~ Airline Preference via Porter stems.
+        assert comparator.equal("Preferred Airline", "Airline Preference")
+
+    def test_from_not_equal_to(self, comparator):
+        # Stop-word-only labels keep their tokens; From != To.
+        assert not comparator.equal("From", "To")
+
+    def test_not_equal_when_sets_differ(self, comparator):
+        assert not comparator.equal("Job Type", "Job Category")
+
+
+class TestSynonym:
+    def test_paper_example(self, comparator):
+        # "Area of Study synonym Field of Work"
+        assert comparator.synonym("Area of Study", "Field of Work")
+
+    def test_symmetric(self, comparator):
+        assert comparator.synonym("Field of Work", "Area of Study")
+
+    def test_needs_equal_cardinality(self, comparator):
+        assert not comparator.synonym("Area of Study", "Work")
+
+    def test_needs_at_least_one_synonymy(self, comparator):
+        # Equal labels are not synonym-level (no WordNet synonymy involved).
+        assert not comparator.synonym("Job Type", "Type of Job")
+
+    def test_single_word(self, comparator):
+        assert comparator.synonym("Brand", "Make")
+
+    def test_conjunction_guard(self, comparator):
+        assert not comparator.synonym("Make/Model", "Brand Model")
+        assert not comparator.synonym("Beds and Baths", "Bedrooms Bathrooms")
+
+
+class TestHypernym:
+    def test_paper_example(self, comparator):
+        # "Class hypernym Class of Tickets"
+        assert comparator.hypernym("Class", "Class of Tickets")
+
+    def test_wordnet_hypernymy(self, comparator):
+        assert comparator.hypernym("Location", "City")
+
+    def test_subset_with_synonym_tokens(self, comparator):
+        assert comparator.hypernym("Car", "Auto Model")
+
+    def test_strictness(self, comparator):
+        # Equal content sets are not hypernym-related (n == m, no hypernymy).
+        assert not comparator.hypernym("Job Type", "Type of Job")
+
+    def test_not_hypernym_when_unrelated_token(self, comparator):
+        assert not comparator.hypernym("Price", "Class of Tickets")
+
+    def test_hyponym_is_inverse(self, comparator):
+        assert comparator.hyponym("Class of Tickets", "Class")
+        assert not comparator.hyponym("Class", "Class of Tickets")
+
+    def test_question_label(self, comparator):
+        # Section 5.1.2: "Do you have any preferences?" is a hypernym of
+        # "Airline Preferences" ({prefer} vs {airline, prefer}).
+        assert comparator.hypernym(
+            "Do you have any preferences?", "Airline Preferences"
+        )
+
+    def test_conjunction_guard(self, comparator):
+        assert not comparator.hypernym("Class", "Class and Fare")
+
+
+class TestRelationBetween:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("From", "From", LabelRelation.STRING_EQUAL),
+            ("Type of Job", "Job Type", LabelRelation.EQUAL),
+            ("Area of Study", "Field of Work", LabelRelation.SYNONYM),
+            ("Class", "Class of Tickets", LabelRelation.HYPERNYM),
+            ("Class of Tickets", "Class", LabelRelation.HYPONYM),
+            ("Price", "Airline", LabelRelation.NONE),
+        ],
+    )
+    def test_strongest_relation(self, comparator, a, b, expected):
+        assert comparator.relation_between(a, b) is expected
+
+    def test_ordering_is_strength(self):
+        assert (
+            LabelRelation.STRING_EQUAL
+            > LabelRelation.EQUAL
+            > LabelRelation.SYNONYM
+            > LabelRelation.HYPERNYM
+            > LabelRelation.HYPONYM
+            > LabelRelation.NONE
+        )
+
+
+class TestAggregates:
+    def test_similar(self, comparator):
+        assert comparator.similar("Job Type", "Type of Job")
+        assert comparator.similar("Area of Study", "Field of Work")
+        assert not comparator.similar("Class", "Class of Tickets")
+
+    def test_at_least_as_general(self, comparator):
+        assert comparator.at_least_as_general("Class", "Class of Tickets")
+        assert comparator.at_least_as_general("Job Type", "Type of Job")
+        assert not comparator.at_least_as_general("Class of Tickets", "Class")
+
+
+class TestLabelObject:
+    def test_analyzer_caches(self, analyzer):
+        assert analyzer.label("Job Type") is analyzer.label("Job Type")
+
+    def test_conjunction_detection(self, analyzer):
+        assert analyzer.label("Make/Model").has_conjunction
+        assert analyzer.label("Beds & Baths").has_conjunction
+        assert analyzer.label("City and State").has_conjunction
+        assert not analyzer.label("Standard Label").has_conjunction
+
+    def test_content_word_count(self, analyzer):
+        assert analyzer.label("Max. Number of Stops").content_word_count == 3
+        assert analyzer.label("Class").content_word_count == 1
+
+    def test_stems_frozen(self, analyzer):
+        label = analyzer.label("Area of Study")
+        assert label.stems == frozenset({"area", "studi"})

@@ -1,0 +1,170 @@
+"""Human-acceptance simulation: respondents, HA/HA*, attribution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import label_integrated_interface
+from repro.schema.clusters import Mapping
+from repro.schema.interface import QueryInterface, make_field, make_group
+from repro.schema.tree import SchemaNode
+from repro.survey.respondent import Respondent
+from repro.survey.study import run_study
+
+
+def _labeled_result(comparator, with_jargon=False):
+    """A tiny integrated interface, optionally with a frequency-1 jargon
+    field (the Wyndham pattern)."""
+    interfaces = []
+    mapping = Mapping()
+
+    def add(name, fields):
+        nodes = []
+        for cluster, label in fields:
+            node = make_field(label, cluster=cluster, name=f"{name}:{cluster}")
+            nodes.append(node)
+            mapping.assign(cluster, name, node)
+        group = make_group("Guests", nodes, name=f"{name}:g")
+        interfaces.append(
+            QueryInterface(name, SchemaNode(None, [group], name=f"{name}:r"))
+        )
+
+    add("s1", [("c_adult", "Adults"), ("c_child", "Children")])
+    add("s2", [("c_adult", "Adults"), ("c_child", "Children")])
+    if with_jargon:
+        add("s3", [("c_adult", "Adults"), ("c_wyndham", "Wyndham ByRequest No")])
+
+    clusters = ["c_adult", "c_child"] + (["c_wyndham"] if with_jargon else [])
+    leaves = [SchemaNode(None, cluster=c, name=f"leaf:{c}") for c in clusters]
+    root = SchemaNode(None, [SchemaNode(None, leaves, name="g")], name="r")
+    result = label_integrated_interface(root, interfaces, mapping, comparator)
+    return result, mapping
+
+
+class TestRespondent:
+    def test_clean_interface_not_flagged(self, comparator):
+        result, mapping = _labeled_result(comparator)
+        respondent = Respondent(seed=0, attentiveness=1.0)
+        assert respondent.review(result, mapping, comparator) == []
+
+    def test_jargon_field_flagged_and_inherited(self, comparator):
+        result, mapping = _labeled_result(comparator, with_jargon=True)
+        # seed=1 draws 0.134 first, below the 0.75 flag probability.
+        respondent = Respondent(seed=1, attentiveness=1.0)
+        difficulties = respondent.review(result, mapping, comparator)
+        flagged = {d.cluster: d for d in difficulties}
+        assert "c_wyndham" in flagged
+        assert flagged["c_wyndham"].cause == "too_specific"
+        assert flagged["c_wyndham"].inherited_from_source
+
+    def test_deterministic_per_seed(self, comparator):
+        result, mapping = _labeled_result(comparator, with_jargon=True)
+        a = Respondent(seed=5).review(result, mapping, comparator)
+        b = Respondent(seed=5).review(result, mapping, comparator)
+        assert a == b
+
+    def test_attentiveness_zero_never_flags(self, comparator):
+        result, mapping = _labeled_result(comparator, with_jargon=True)
+        respondent = Respondent(seed=0, attentiveness=0.0)
+        assert respondent.review(result, mapping, comparator) == []
+
+
+class TestStudy:
+    def test_clean_interface_perfect_scores(self, comparator):
+        result, mapping = _labeled_result(comparator)
+        study = run_study(result, mapping, comparator, respondent_count=11)
+        assert study.ha == 1.0 and study.ha_star == 1.0
+        assert study.respondent_count == 11
+        assert study.field_count == 2
+
+    def test_ha_star_at_least_ha(self, comparator):
+        result, mapping = _labeled_result(comparator, with_jargon=True)
+        study = run_study(result, mapping, comparator, respondent_count=11)
+        assert study.ha_star >= study.ha
+        assert study.ha < 1.0  # the jargon field costs something
+
+    def test_inherited_difficulty_fully_discounted(self, comparator):
+        """The jargon field is source-inherited, so HA* climbs back to 1."""
+        result, mapping = _labeled_result(comparator, with_jargon=True)
+        study = run_study(result, mapping, comparator, respondent_count=11)
+        assert study.ha_star == 1.0
+
+    def test_flag_counts(self, comparator):
+        result, mapping = _labeled_result(comparator, with_jargon=True)
+        study = run_study(result, mapping, comparator, respondent_count=11)
+        assert study.flagged_clusters() == ["c_wyndham"]
+
+    def test_empty_interface(self, comparator):
+        root = SchemaNode(None, name="r")
+        from repro.core.result import LabelingResult
+        from repro.schema.groups import GroupPartition
+
+        result = LabelingResult(
+            root=root, partition=GroupPartition([], None, [])
+        )
+        study = run_study(result, Mapping(), comparator)
+        assert study.ha == 1.0 and study.field_count == 0
+
+    def test_study_deterministic(self, comparator):
+        result, mapping = _labeled_result(comparator, with_jargon=True)
+        a = run_study(result, mapping, comparator, seed=2)
+        b = run_study(result, mapping, comparator, seed=2)
+        assert a.ha == b.ha and a.ha_star == b.ha_star
+
+
+class TestRespondentProperties:
+    def test_attentiveness_monotone_on_average(self, comparator):
+        """More attentive respondents flag at least as much, on average."""
+        result, mapping = _labeled_result(comparator, with_jargon=True)
+        lows, highs = 0, 0
+        for seed in range(40):
+            lows += len(
+                Respondent(seed, attentiveness=0.2).review(
+                    result, mapping, comparator
+                )
+            )
+            highs += len(
+                Respondent(seed, attentiveness=1.0).review(
+                    result, mapping, comparator
+                )
+            )
+        assert highs >= lows
+
+    def test_default_attentiveness_in_range(self):
+        for seed in range(25):
+            respondent = Respondent(seed)
+            assert 0.7 <= respondent.attentiveness <= 1.0
+
+    def test_flags_subset_of_objective_problems(self, comparator):
+        result, mapping = _labeled_result(comparator, with_jargon=True)
+        respondent = Respondent(seed=3, attentiveness=1.0)
+        problems = {
+            cluster
+            for cluster, __ in respondent._objective_problems(
+                result, mapping, comparator
+            )
+        }
+        flagged = {
+            d.cluster for d in respondent.review(result, mapping, comparator)
+        }
+        assert flagged <= problems
+
+
+class TestStudyProperties:
+    def test_more_respondents_tightens_ha(self, comparator):
+        """HA with many respondents sits between the single-respondent
+        extremes (it is an average)."""
+        result, mapping = _labeled_result(comparator, with_jargon=True)
+        singles = [
+            run_study(result, mapping, comparator, respondent_count=1, seed=s).ha
+            for s in range(8)
+        ]
+        big = run_study(result, mapping, comparator, respondent_count=25).ha
+        assert min(singles) <= big <= max(singles) or big == pytest.approx(
+            sum(singles) / len(singles), abs=0.2
+        )
+
+    def test_ha_bounds(self, comparator):
+        result, mapping = _labeled_result(comparator, with_jargon=True)
+        study = run_study(result, mapping, comparator)
+        assert 0.0 <= study.ha <= study.ha_star <= 1.0

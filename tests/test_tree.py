@@ -1,0 +1,188 @@
+"""Schema trees: structure, traversals, invariants, LCA."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.schema.tree import FieldKind, SchemaNode, depth_of, lowest_common_ancestor
+
+
+@pytest.fixture()
+def sample_tree():
+    """A miniature of the paper's Vacations tree (Figure 2)."""
+    adults = SchemaNode("Adults", cluster="c_adult", name="adults")
+    seniors = SchemaNode("Seniors", cluster="c_senior", name="seniors")
+    children = SchemaNode("Children", cluster="c_child", name="children")
+    people = SchemaNode(
+        "How many people are going?", [adults, seniors, children], name="people"
+    )
+    frm = SchemaNode("Departing from", cluster="c_depart", name="from")
+    to = SchemaNode("Going to", cluster="c_dest", name="to")
+    where = SchemaNode("Where and when?", [frm, to], name="where")
+    root = SchemaNode(None, [where, people], name="root")
+    return root
+
+
+class TestStructure:
+    def test_leaves_in_order(self, sample_tree):
+        assert [l.name for l in sample_tree.leaves()] == [
+            "from", "to", "adults", "seniors", "children"
+        ]
+
+    def test_internal_nodes(self, sample_tree):
+        assert [n.name for n in sample_tree.internal_nodes()] == [
+            "root", "where", "people"
+        ]
+
+    def test_parent_pointers(self, sample_tree):
+        where = sample_tree.find_by_name("where")
+        assert where.parent is sample_tree
+        assert sample_tree.find_by_name("adults").parent.name == "people"
+
+    def test_height_and_depth(self, sample_tree):
+        assert sample_tree.height() == 3
+        assert depth_of(sample_tree) == 3
+        assert SchemaNode("leaf").height() == 1
+
+    def test_size(self, sample_tree):
+        assert sample_tree.size() == 8
+
+    def test_predicates(self, sample_tree):
+        assert sample_tree.find_by_name("adults").is_leaf
+        assert sample_tree.find_by_name("people").is_internal
+        assert not SchemaNode(None).is_labeled
+        assert not SchemaNode("  ").is_labeled
+        assert SchemaNode("Adults").is_labeled
+
+    def test_descendant_leaf_clusters(self, sample_tree):
+        people = sample_tree.find_by_name("people")
+        assert people.descendant_leaf_clusters() == {
+            "c_adult", "c_senior", "c_child"
+        }
+
+    def test_ancestors(self, sample_tree):
+        adults = sample_tree.find_by_name("adults")
+        assert [a.name for a in adults.ancestors()] == ["people", "root"]
+
+
+class TestMutation:
+    def test_add_child_sets_parent(self):
+        root = SchemaNode(None, name="r")
+        child = SchemaNode("x", name="c")
+        root.add_child(child)
+        assert child.parent is root
+        assert root.children == [child]
+
+    def test_add_child_at_index(self):
+        a, b, c = SchemaNode("a"), SchemaNode("b"), SchemaNode("c")
+        root = SchemaNode(None, [a, c])
+        root.add_child(b, index=1)
+        assert [n.label for n in root.children] == ["a", "b", "c"]
+
+    def test_remove_child(self):
+        child = SchemaNode("x")
+        root = SchemaNode(None, [child])
+        root.remove_child(child)
+        assert root.children == [] and child.parent is None
+
+    def test_replace_child_preserves_order(self):
+        a, b, c = SchemaNode("a"), SchemaNode("b"), SchemaNode("c")
+        root = SchemaNode(None, [a, b])
+        root.replace_child(b, c)
+        assert [n.label for n in root.children] == ["a", "c"]
+        assert c.parent is root and b.parent is None
+
+
+class TestValidate:
+    def test_valid_tree_passes(self, sample_tree):
+        sample_tree.validate()
+
+    def test_duplicate_node_rejected(self):
+        shared = SchemaNode("x")
+        root = SchemaNode(None, [shared])
+        root.children.append(shared)  # simulate corruption
+        with pytest.raises(ValueError, match="twice"):
+            root.validate()
+
+    def test_stale_parent_rejected(self):
+        child = SchemaNode("x")
+        root = SchemaNode(None, [child])
+        child.parent = None
+        with pytest.raises(ValueError, match="stale"):
+            root.validate()
+
+    def test_internal_with_kind_rejected(self):
+        node = SchemaNode("x", [SchemaNode("y")])
+        node.kind = FieldKind.TEXT_BOX
+        with pytest.raises(ValueError, match="field kind"):
+            node.validate()
+
+
+class TestCopy:
+    def test_copy_is_deep(self, sample_tree):
+        clone = sample_tree.copy()
+        clone.find_by_name("adults").label = "CHANGED"
+        assert sample_tree.find_by_name("adults").label == "Adults"
+
+    def test_copy_preserves_payload(self, sample_tree):
+        clone = sample_tree.copy()
+        assert clone.size() == sample_tree.size()
+        assert [l.cluster for l in clone.leaves()] == [
+            l.cluster for l in sample_tree.leaves()
+        ]
+        clone.validate()
+
+
+class TestLca:
+    def test_lca_of_siblings(self, sample_tree):
+        a = sample_tree.find_by_name("adults")
+        s = sample_tree.find_by_name("seniors")
+        assert lowest_common_ancestor([a, s]).name == "people"
+
+    def test_lca_across_groups(self, sample_tree):
+        a = sample_tree.find_by_name("adults")
+        f = sample_tree.find_by_name("from")
+        assert lowest_common_ancestor([a, f]).name == "root"
+
+    def test_lca_of_node_and_ancestor(self, sample_tree):
+        a = sample_tree.find_by_name("adults")
+        p = sample_tree.find_by_name("people")
+        assert lowest_common_ancestor([a, p]).name == "people"
+
+    def test_lca_empty(self):
+        assert lowest_common_ancestor([]) is None
+
+
+def _random_tree(rng: random.Random, size: int) -> SchemaNode:
+    nodes = [SchemaNode(f"n{i}", name=f"n{i}") for i in range(size)]
+    root = nodes[0]
+    for node in nodes[1:]:
+        rng.choice(nodes[: nodes.index(node)]).add_child(node)
+    return root
+
+
+@given(st.integers(min_value=1, max_value=40), st.integers())
+def test_random_trees_walk_covers_all(size, seed):
+    rng = random.Random(seed)
+    root = _random_tree(rng, size)
+    root.validate()
+    assert root.size() == size
+    walked = list(root.walk())
+    assert len(walked) == size
+    assert len(root.leaves()) + len(root.internal_nodes()) == size
+
+
+@given(st.integers(min_value=2, max_value=30), st.integers())
+def test_random_trees_lca_is_common_ancestor(size, seed):
+    rng = random.Random(seed)
+    root = _random_tree(rng, size)
+    leaves = root.leaves()
+    pick = rng.sample(leaves, min(2, len(leaves)))
+    lca = lowest_common_ancestor(pick)
+    assert lca is not None
+    for node in pick:
+        assert lca is node or lca in list(node.ancestors())

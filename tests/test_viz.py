@@ -1,0 +1,55 @@
+"""DOT rendering of schema trees."""
+
+from __future__ import annotations
+
+from repro.schema.interface import make_field, make_group
+from repro.schema.tree import SchemaNode
+from repro.viz import to_dot, write_dot
+
+
+def _tree():
+    return SchemaNode(None, [
+        make_group("Passengers", [
+            make_field("Adults", cluster="c_adult", name="a"),
+            make_field(None, cluster="c_child", name="c"),
+        ], name="g"),
+    ], name="root")
+
+
+class TestToDot:
+    def test_structure(self):
+        dot = to_dot(_tree(), title="Demo")
+        assert dot.startswith("digraph schema_tree {")
+        assert dot.rstrip().endswith("}")
+        assert 'label="Demo"' in dot
+        # 4 nodes, 3 edges.
+        assert dot.count("->") == 3
+        assert dot.count("shape=box") == 2
+        assert dot.count("shape=ellipse") == 2
+
+    def test_cluster_annotation(self):
+        dot = to_dot(_tree())
+        assert "[c_adult]" in dot
+
+    def test_unlabeled_nodes_dashed(self):
+        dot = to_dot(_tree())
+        assert "dashed" in dot
+        assert "(no label)" in dot
+
+    def test_escaping(self):
+        root = SchemaNode(None, [make_field('He said "hi" \\ bye', name="x")],
+                          name="r")
+        dot = to_dot(root)
+        assert '\\"hi\\"' in dot and "\\\\" in dot
+
+    def test_write_dot(self, tmp_path):
+        target = tmp_path / "tree.dot"
+        write_dot(_tree(), target, title="T")
+        assert target.read_text().startswith("digraph")
+
+    def test_renders_full_domain(self):
+        from repro import run_domain
+
+        run = run_domain("job", seed=0, respondent_count=1)
+        dot = to_dot(run.labeling.root)
+        assert dot.count("->") == run.labeling.root.size() - 1

@@ -1,0 +1,226 @@
+"""MiniWordNet: synsets, synonymy, transitive hypernymy, morphy integration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lexicon.wordnet import MiniWordNet
+
+
+@pytest.fixture()
+def wn():
+    net = MiniWordNet()
+    net.add_synset(["car", "auto", "automobile"])
+    net.add_synset(["vehicle"])
+    net.add_synset(["sedan"])
+    net.add_hypernym("vehicle", "car")
+    net.add_hypernym("car", "sedan")
+    return net
+
+
+class TestSynonymy:
+    def test_shared_synset(self, wn):
+        assert wn.are_synonyms("car", "auto")
+        assert wn.are_synonyms("auto", "automobile")
+
+    def test_symmetric(self, wn):
+        assert wn.are_synonyms("auto", "car") == wn.are_synonyms("car", "auto")
+
+    def test_same_word_not_synonym(self, wn):
+        assert not wn.are_synonyms("car", "car")
+        assert not wn.are_synonyms("car", "Cars")  # same base form
+
+    def test_unknown_words(self, wn):
+        assert not wn.are_synonyms("car", "spaceship")
+        assert not wn.are_synonyms("x", "y")
+
+    def test_inflected_forms_resolve(self, wn):
+        assert wn.are_synonyms("cars", "autos")
+
+
+class TestHypernymy:
+    def test_direct(self, wn):
+        assert wn.is_hypernym("vehicle", "car")
+        assert wn.is_hypernym("car", "sedan")
+
+    def test_transitive(self, wn):
+        assert wn.is_hypernym("vehicle", "sedan")
+
+    def test_not_reflexive_or_inverted(self, wn):
+        assert not wn.is_hypernym("car", "vehicle")
+        assert not wn.is_hypernym("sedan", "vehicle")
+        assert not wn.is_hypernym("car", "car")
+
+    def test_synonym_inherits_hypernyms(self, wn):
+        # "auto" shares the car synset, so vehicle is its hypernym too.
+        assert wn.is_hypernym("vehicle", "auto")
+
+    def test_cache_invalidated_on_mutation(self, wn):
+        assert not wn.is_hypernym("vehicle", "bicycle")
+        wn.add_hypernym("vehicle", "bicycle")
+        assert wn.is_hypernym("vehicle", "bicycle")
+
+    def test_cycle_does_not_hang(self):
+        net = MiniWordNet()
+        net.add_synset(["a"])
+        net.add_synset(["b"])
+        net.add_hypernym("a", "b")
+        net.add_hypernym("b", "a")
+        assert net.is_hypernym("a", "b")
+        assert net.is_hypernym("b", "a")
+
+
+class TestConstruction:
+    def test_duplicate_synset_returns_existing_id(self):
+        net = MiniWordNet()
+        first = net.add_synset(["x", "y"])
+        second = net.add_synset(["Y", "X"])  # case-insensitive
+        assert first == second
+        assert len(net) == 1
+
+    def test_empty_synset_rejected(self):
+        with pytest.raises(ValueError):
+            MiniWordNet().add_synset([])
+
+    def test_add_hypernym_creates_missing_lemmas(self):
+        net = MiniWordNet()
+        net.add_hypernym("animal", "dog")
+        assert net.is_known("animal") and net.is_known("dog")
+        assert net.is_hypernym("animal", "dog")
+
+    def test_bad_synset_id_rejected(self, wn):
+        with pytest.raises(KeyError):
+            wn.add_hypernym(999, "car")
+
+    def test_contains_uses_base_form(self, wn):
+        assert "cars" in wn
+        assert "spaceship" not in wn
+
+    def test_synsets_of(self, wn):
+        synsets = wn.synsets_of("auto")
+        assert len(synsets) == 1
+        assert "car" in synsets[0]
+
+    def test_load_bulk(self):
+        net = MiniWordNet()
+        net.load([["p", "q"], ["r"]], [("r", "p")])
+        assert net.are_synonyms("p", "q")
+        assert net.is_hypernym("r", "q")
+
+
+@given(
+    st.lists(
+        st.lists(
+            st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+            min_size=1,
+            max_size=3,
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_synonymy_is_symmetric_property(synsets):
+    net = MiniWordNet()
+    for lemmas in synsets:
+        net.add_synset(lemmas)
+    words = sorted({w for lemmas in synsets for w in lemmas})
+    for a in words:
+        for b in words:
+            assert net.are_synonyms(a, b) == net.are_synonyms(b, a)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.text(alphabet="abcd", min_size=1, max_size=3),
+            st.text(alphabet="abcd", min_size=1, max_size=3),
+        ),
+        max_size=8,
+    )
+)
+def test_hypernymy_is_transitive_property(edges):
+    net = MiniWordNet()
+    for general, specific in edges:
+        if general != specific:
+            net.add_hypernym(general, specific)
+    words = sorted({w for pair in edges for w in pair})
+    for a in words:
+        for b in words:
+            for c in words:
+                if (
+                    net.is_hypernym(a, b)
+                    and net.is_hypernym(b, c)
+                    and net.lemma_base(a) != net.lemma_base(c)
+                ):
+                    assert net.is_hypernym(a, c)
+
+
+class TestLexiconIO:
+    """JSON load/save of lexicon data (repro.lexicon.io)."""
+
+    def test_round_trip_default_data(self, tmp_path):
+        from repro.lexicon.io import load_wordnet, save_wordnet_data
+
+        path = tmp_path / "lexicon.json"
+        save_wordnet_data(path)
+        restored = load_wordnet(path, extend_default=False)
+        assert restored.are_synonyms("area", "field")
+        assert restored.is_hypernym("location", "city")
+
+    def test_extend_default(self, tmp_path):
+        import json
+
+        from repro.lexicon.io import load_wordnet
+
+        path = tmp_path / "extra.json"
+        path.write_text(json.dumps({
+            "synsets": [["course", "class"]],
+            "hypernyms": [["person", "instructor"]],
+        }))
+        wordnet = load_wordnet(path)
+        assert wordnet.are_synonyms("course", "class")
+        assert wordnet.is_hypernym("person", "instructor")
+        # Built-in data still present.
+        assert wordnet.are_synonyms("area", "field")
+
+    def test_standalone_file(self, tmp_path):
+        import json
+
+        from repro.lexicon.io import load_wordnet
+
+        path = tmp_path / "solo.json"
+        path.write_text(json.dumps({"synsets": [["a", "b"]]}))
+        wordnet = load_wordnet(path, extend_default=False)
+        assert wordnet.are_synonyms("a", "b")
+        assert not wordnet.is_known("area")
+
+    def test_bad_hypernym_entry_rejected(self):
+        import pytest as _pytest
+
+        from repro.lexicon.io import wordnet_from_dict
+
+        with _pytest.raises(ValueError, match="pairs"):
+            wordnet_from_dict({"hypernyms": [["a", "b", "c"]]})
+
+    def test_non_object_rejected(self, tmp_path):
+        import pytest as _pytest
+
+        from repro.lexicon.io import load_wordnet
+
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with _pytest.raises(ValueError, match="JSON object"):
+            load_wordnet(path)
+
+
+class TestShareHypernym:
+    def test_co_hyponyms(self):
+        from repro.lexicon.data import build_default_wordnet
+
+        wn = build_default_wordnet()
+        assert wn.share_hypernym("adult", "senior")       # both under person
+        assert wn.share_hypernym("city", "state")         # both under location
+        assert not wn.share_hypernym("adult", "price")
+        assert not wn.share_hypernym("adult", "nonsenseword")
