@@ -8,6 +8,8 @@
     python -m repro generate auto -o corpus.json
     python -m repro label corpus.json --html out.html
     python -m repro parse page.html        # extract forms from HTML
+    python -m repro serve --port 8080      # the HTTP labeling service
+    python -m repro batch a.json b.json --jobs 4
 
 Every command accepts ``--seed`` where a corpus is generated.
 """
@@ -20,12 +22,11 @@ import sys
 from pathlib import Path
 
 from .core.inference import InferenceRule
-from .core.pipeline import label_integrated_interface
+from .core.pipeline import label_corpus
 from .core.semantics import SemanticComparator
 from .datasets.registry import DOMAIN_TITLES, DOMAINS, load_domain
 from .experiment import run_all_domains, run_domain
 from .html import parse_forms, render_form
-from .merge import merge_interfaces
 from .schema.serialize import load_corpus, save_corpus
 
 __all__ = ["main", "build_parser"]
@@ -46,6 +47,10 @@ def build_parser() -> argparse.ArgumentParser:
     table6.add_argument(
         "--respondents", type=int, default=11,
         help="simulated survey size (the paper used 11)",
+    )
+    table6.add_argument(
+        "--jobs", type=int, default=1,
+        help="domains labeled concurrently (1 = sequential, identical output)",
     )
 
     figure10 = sub.add_parser("figure10", help="inference-rule involvement")
@@ -96,6 +101,29 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("-o", "--out", type=Path, default=None,
                         help="write to a file instead of stdout")
 
+    serve = sub.add_parser(
+        "serve", help="run the HTTP labeling service (POST /label, /batch)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8777,
+                       help="0 picks an ephemeral port")
+    serve.add_argument("--cache-size", type=int, default=128,
+                       help="LRU result-cache capacity (0 disables caching)")
+    serve.add_argument("--jobs", type=int, default=4,
+                       help="default batch concurrency for POST /batch")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per HTTP request")
+
+    batch = sub.add_parser(
+        "batch", help="merge + label many saved corpora concurrently"
+    )
+    batch.add_argument("corpora", type=Path, nargs="+")
+    batch.add_argument("--jobs", type=int, default=1)
+    batch.add_argument("--timeout", type=float, default=None,
+                       help="per-corpus time budget in seconds")
+    batch.add_argument("--lint", action="store_true",
+                       help="include well-designedness findings per corpus")
+
     return parser
 
 
@@ -105,7 +133,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_table6(args) -> int:
-    runs = run_all_domains(seed=args.seed, respondent_count=args.respondents)
+    runs = run_all_domains(
+        seed=args.seed, respondent_count=args.respondents, jobs=args.jobs
+    )
     header = (
         f"{'Domain':<12} {'srcL':>5} {'LQ':>4} {'intL':>5} {'grp':>4} "
         f"{'FldAcc':>7} {'IntAcc':>7} {'HA':>6} {'HA*':>6}  class"
@@ -165,15 +195,13 @@ def _cmd_generate(args) -> int:
 
 def _cmd_label(args) -> int:
     interfaces, mapping = load_corpus(args.corpus)
-    mapping.expand_one_to_many(interfaces)
-    root = merge_interfaces(interfaces, mapping)
     comparator = SemanticComparator()
     if args.lexicon is not None:
         from .core.label import LabelAnalyzer
         from .lexicon.io import load_wordnet
 
         comparator = SemanticComparator(LabelAnalyzer(load_wordnet(args.lexicon)))
-    result = label_integrated_interface(root, interfaces, mapping, comparator)
+    root, result = label_corpus(interfaces, mapping, comparator)
     print(root.pretty())
     print(f"classification: {result.classification.value}")
     if args.html is not None:
@@ -287,6 +315,81 @@ def _cmd_parse(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .service.server import LabelingServer
+
+    server = LabelingServer(
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        jobs=args.jobs,
+        quiet=not args.verbose,
+    )
+    print(f"repro labeling service on {server.url}")
+    print("  POST /label   POST /batch   GET /healthz   GET /metrics")
+    print(f"  cache capacity {args.cache_size}, default batch jobs {args.jobs}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    from .service.engine import LabelingEngine
+
+    payloads = []
+    for path in args.corpora:
+        try:
+            payload: dict = {"corpus": json.loads(path.read_text())}
+        except (OSError, json.JSONDecodeError) as exc:
+            payload = {"__error__": f"{path}: {exc}"}
+        if args.lint:
+            payload["lint"] = True
+        payloads.append(payload)
+
+    engine = LabelingEngine(cache_size=0)
+    results = engine.label_batch(
+        [p for p in payloads if "__error__" not in p],
+        jobs=args.jobs,
+        timeout=args.timeout,
+    )
+    # Re-interleave unreadable files with engine results, in input order.
+    merged: list[dict] = []
+    it = iter(results)
+    for payload in payloads:
+        if "__error__" in payload:
+            merged.append({"ok": False, "error": payload["__error__"],
+                           "error_type": "unreadable"})
+        else:
+            merged.append(next(it))
+
+    failures = 0
+    for path, result in zip(args.corpora, merged):
+        if result.get("ok"):
+            stats = result["stats"]
+            line = (
+                f"[{path.name}] {result['classification']} | "
+                f"{stats['labeled_fields']}/{stats['leaves']} fields labeled | "
+                f"{stats['elapsed_ms']:.0f} ms"
+            )
+            if args.lint:
+                warns = sum(
+                    1 for f in result.get("lint", []) if f["severity"] == "warn"
+                )
+                line += f" | {warns} lint warn(s)"
+            print(line)
+        else:
+            failures += 1
+            print(f"[{path.name}] ERROR ({result.get('error_type')}): "
+                  f"{result.get('error')}")
+    print(f"{len(merged) - failures}/{len(merged)} corpora labeled "
+          f"(jobs={args.jobs})")
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "table6": _cmd_table6,
     "figure10": _cmd_figure10,
@@ -298,6 +401,8 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "describe": _cmd_describe,
     "lint": _cmd_lint,
+    "serve": _cmd_serve,
+    "batch": _cmd_batch,
 }
 
 

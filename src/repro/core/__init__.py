@@ -35,7 +35,7 @@ from .metrics import (
     internal_nodes_accuracy,
     labeling_quality,
 )
-from .pipeline import NamingOptions, label_integrated_interface
+from .pipeline import NamingOptions, label_corpus, label_integrated_interface
 from .result import LabelingResult, NodeStatus, TreeConsistency
 from .semantics import LabelRelation, SemanticComparator
 from .solutions import GroupNamingResult, GroupSolution, name_group, rank_tuple_solutions
@@ -76,6 +76,7 @@ __all__ = [
     "inference_shares",
     "integrated_stats",
     "internal_nodes_accuracy",
+    "label_corpus",
     "label_integrated_interface",
     "labeling_quality",
     "li6_semantically_equivalent",

@@ -29,7 +29,7 @@ from .result import LabelingResult, NodeStatus, TreeConsistency
 from .semantics import SemanticComparator
 from .solutions import GroupNamingResult, GroupSolution, name_group
 
-__all__ = ["NamingOptions", "label_integrated_interface"]
+__all__ = ["NamingOptions", "label_corpus", "label_integrated_interface"]
 
 
 @dataclass(frozen=True)
@@ -165,6 +165,41 @@ def label_integrated_interface(
     _write_leaf_labels(integrated_root, result)
     result.classification = _classify(result)
     return result
+
+
+def label_corpus(
+    interfaces: list[QueryInterface],
+    mapping: Mapping,
+    comparator: SemanticComparator | None = None,
+    options: NamingOptions | None = None,
+    domain: str | None = None,
+) -> tuple[SchemaNode, LabelingResult]:
+    """Merge and label a raw corpus end to end: the reusable entry point.
+
+    Takes a corpus exactly as :func:`repro.schema.serialize.load_corpus`
+    returns it (1:m correspondences not yet reduced), performs the
+    reduction, builds the integrated tree, and runs the naming algorithm.
+    Everything it touches is owned by the caller's ``interfaces``/``mapping``
+    objects — no module or process state is read or written — so concurrent
+    calls on independent corpora are safe.  This is what the labeling
+    service (:mod:`repro.service`) executes per request; the ``label`` CLI
+    command goes through it too.
+    """
+    # Local import: repro.merge is structurally upstream of the naming
+    # algorithm and must not become an import-time dependency of repro.core.
+    from ..merge.merger import merge_interfaces
+
+    mapping.expand_one_to_many(interfaces)
+    root = merge_interfaces(interfaces, mapping)
+    result = label_integrated_interface(
+        root,
+        interfaces,
+        mapping,
+        comparator=comparator,
+        options=options,
+        domain=domain,
+    )
+    return root, result
 
 
 # ----------------------------------------------------------------------

@@ -21,8 +21,11 @@ Checks
 ``generic``      one-word labels from the too-vague inventory the survey
                  flags (Category, Type, Options, ...).
 
-Use from code (:func:`lint_interface`) or the CLI
-(``python -m repro lint page.html``).
+Use from code (:func:`lint_interface`), on serialized trees such as the
+labeling service's JSON responses (:func:`lint_node_dict` — the engine's
+``"lint": true`` request flag goes through it conceptually: every labeled
+tree the service emits can be re-checked against the same properties), or
+from the CLI (``python -m repro lint page.html``).
 """
 
 from __future__ import annotations
@@ -32,7 +35,7 @@ from dataclasses import dataclass
 from .core.semantics import LabelRelation, SemanticComparator
 from .schema.tree import SchemaNode
 
-__all__ = ["LintFinding", "lint_interface"]
+__all__ = ["LintFinding", "lint_interface", "lint_node_dict"]
 
 _GENERIC_LONERS = frozenset(
     {"category", "function", "type", "option", "name", "other", "misc"}
@@ -226,3 +229,24 @@ def lint_interface(
             raise ValueError(f"unknown lint check {check!r}")
     findings.sort(key=lambda f: (f.severity != "warn", f.check))
     return findings
+
+
+def lint_node_dict(
+    data: dict,
+    comparator: SemanticComparator | None = None,
+    checks: tuple[str, ...] = ("horizontal", "vertical", "homonyms",
+                               "unlabeled", "generic"),
+) -> list[LintFinding]:
+    """Lint a serialized schema tree (the ``"tree"`` of a service response).
+
+    Accepts the node-dict shape produced by
+    :func:`repro.schema.serialize.node_to_dict` — which is exactly what
+    ``POST /label`` returns — so callers of the labeling service can run
+    the well-designedness pass on a response without rebuilding schema
+    objects themselves.
+    """
+    from .schema.serialize import node_from_dict
+
+    if not isinstance(data, dict) or "name" not in data:
+        raise ValueError("expected a serialized schema node ({'name': ..., ...})")
+    return lint_interface(node_from_dict(data), comparator, checks=checks)

@@ -4,6 +4,7 @@ from .clusters import Cluster, ExpansionRecord, Mapping
 from .groups import Group, GroupKind, GroupPartition, partition_clusters
 from .interface import FieldKind, QueryInterface, make_field, make_group
 from .serialize import (
+    corpus_to_dict,
     interface_from_dict,
     interface_to_dict,
     load_corpus,
@@ -25,6 +26,7 @@ __all__ = [
     "Mapping",
     "QueryInterface",
     "SchemaNode",
+    "corpus_to_dict",
     "depth_of",
     "interface_from_dict",
     "interface_to_dict",

@@ -1,0 +1,54 @@
+"""repro.service — the labeling pipeline as a long-lived, concurrent service.
+
+The paper's workload is inherently online: a deep-web integrator crawls
+query interfaces continuously and must label each freshly integrated
+interface.  This package wraps the one-shot pipeline in the pieces that
+workload needs:
+
+``fingerprint``  stable content hashes of (corpus, lexicon overlay,
+                 naming options) — the cache key;
+``cache``        a thread-safe LRU result cache with hit/miss/eviction
+                 counters;
+``engine``       :class:`LabelingEngine` — request validation, cache
+                 consultation, pipeline execution, and a batch executor
+                 with per-item timeout and error isolation;
+``server``       a stdlib-only HTTP JSON API (``POST /label``,
+                 ``POST /batch``, ``GET /healthz``, ``GET /metrics``);
+``client``       a urllib client for tests, examples and benchmarks.
+
+Start a server with ``python -m repro serve`` or in-process::
+
+    from repro.service import LabelingServer, ServiceClient
+
+    with LabelingServer(port=0) as server:
+        client = ServiceClient(server.url)
+        print(client.label(domain="airline")["classification"])
+"""
+
+from .cache import CacheStats, LRUCache
+from .client import ServiceClient, ServiceError
+from .engine import (
+    BatchOutcome,
+    LabelingEngine,
+    LabelingRequest,
+    RequestError,
+    execute_batch,
+)
+from .fingerprint import corpus_fingerprint, fingerprint_document
+from .server import LabelingServer, MetricsRegistry
+
+__all__ = [
+    "BatchOutcome",
+    "CacheStats",
+    "LRUCache",
+    "LabelingEngine",
+    "LabelingRequest",
+    "LabelingServer",
+    "MetricsRegistry",
+    "RequestError",
+    "ServiceClient",
+    "ServiceError",
+    "corpus_fingerprint",
+    "execute_batch",
+    "fingerprint_document",
+]

@@ -1,0 +1,111 @@
+"""A thread-safe LRU cache for labeling results, with observable counters.
+
+The labeling pipeline is deterministic, so a result keyed by the corpus
+fingerprint (:mod:`repro.service.fingerprint`) never goes stale — the only
+eviction policy needed is capacity.  The cache is a plain ordered-dict LRU
+guarded by a lock: correct under the ``ThreadingHTTPServer``/executor
+concurrency the service runs with, and cheap enough that a hit costs
+microseconds against the pipeline's tens of milliseconds.
+
+Counters (hits / misses / evictions) are part of the public contract —
+``GET /metrics`` reports them, and operators size ``capacity`` from them.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["CacheStats", "LRUCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of the cache's counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, 0.0 before the first lookup."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (what ``GET /metrics`` embeds)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class LRUCache:
+    """Least-recently-used mapping with a capacity bound and counters.
+
+    ``get`` refreshes recency; ``put`` evicts the coldest entry once
+    ``capacity`` is exceeded.  ``capacity <= 0`` disables storage entirely
+    (every lookup is a miss) so a service can run cache-less without a
+    second code path.  All operations are safe to call from any thread.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: str):
+        """The cached value for ``key`` (refreshed as most recent), or ``None``."""
+        with self._lock:
+            if key not in self._entries:
+                self._misses += 1
+                return None
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+
+    def put(self, key: str, value) -> None:
+        """Store ``value`` under ``key``, evicting LRU entries over capacity."""
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep accumulating)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """A consistent :class:`CacheStats` snapshot."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )

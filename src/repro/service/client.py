@@ -1,0 +1,124 @@
+"""A small urllib client for the labeling service — no dependencies.
+
+Used by the tests, the examples and the benchmark to exercise the real
+HTTP surface; also a reasonable starting point for callers in other
+processes.  Every method returns the decoded JSON payload; non-2xx
+responses raise :class:`ServiceError` carrying the status code and the
+server's error payload.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from ..schema.clusters import Mapping
+from ..schema.interface import QueryInterface
+from ..schema.serialize import corpus_to_dict
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: dict | None, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServiceClient:
+    """Talk JSON to a running labeling service at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport.
+    # ------------------------------------------------------------------
+
+    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        """One HTTP round trip; decoded JSON back, :class:`ServiceError` on failure."""
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            f"{self.base_url}{path}", data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                error_payload = json.loads(raw)
+            except (json.JSONDecodeError, ValueError):
+                error_payload = None
+            message = (
+                error_payload.get("error") if error_payload else raw.decode("utf-8", "replace")
+            )
+            raise ServiceError(exc.code, error_payload, message or exc.reason) from None
+
+    # ------------------------------------------------------------------
+    # Endpoints.
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        """``GET /healthz``."""
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        """``GET /metrics``."""
+        return self.request("GET", "/metrics")
+
+    def label(
+        self,
+        corpus: dict | None = None,
+        domain: str | None = None,
+        seed: int = 0,
+        options: dict | None = None,
+        lexicon: dict | None = None,
+        lint: bool = False,
+        timeout: float | None = None,
+    ) -> dict:
+        """``POST /label`` with either a corpus document or a domain name."""
+        payload: dict = {}
+        if corpus is not None:
+            payload["corpus"] = corpus
+        if domain is not None:
+            payload["domain"] = domain
+            payload["seed"] = seed
+        if options:
+            payload["options"] = options
+        if lexicon:
+            payload["lexicon"] = lexicon
+        if lint:
+            payload["lint"] = True
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return self.request("POST", "/label", payload)
+
+    def label_corpus(
+        self, interfaces: list[QueryInterface], mapping: Mapping, **kwargs
+    ) -> dict:
+        """Serialize in-memory corpus objects and ``POST /label`` them."""
+        return self.label(corpus=corpus_to_dict(interfaces, mapping), **kwargs)
+
+    def batch(
+        self,
+        requests: list[dict],
+        jobs: int | None = None,
+        timeout: float | None = None,
+    ) -> dict:
+        """``POST /batch`` over a list of label-request payloads."""
+        payload: dict = {"requests": requests}
+        if jobs is not None:
+            payload["jobs"] = jobs
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return self.request("POST", "/batch", payload)

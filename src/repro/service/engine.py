@@ -1,0 +1,423 @@
+"""The long-lived labeling engine: validation, caching, batch fan-out.
+
+One :class:`LabelingEngine` wraps the naming pipeline
+(:func:`repro.core.pipeline.label_corpus`) as a service-shaped component:
+
+* **requests in, JSON out** — a request names either a registered domain
+  (``{"domain": "airline", "seed": 0}``) or carries a full corpus document
+  (the ``save_corpus`` shape), plus optional naming options, a lexicon
+  overlay, and a lint flag; the response is a JSON-ready dict with the
+  labeled tree, per-cluster labels and the Definition-8 classification;
+* **result caching** — responses are cached in a thread-safe LRU keyed by
+  the corpus fingerprint (:mod:`repro.service.fingerprint`); the pipeline
+  is deterministic, so entries never go stale;
+* **batch execution** — :func:`execute_batch` fans any list of thunks over
+  a ``ThreadPoolExecutor`` with per-item timeout and structured
+  :class:`BatchOutcome` results: one bad corpus degrades to an error entry
+  and never kills the batch.  ``repro table6 --jobs N`` and
+  :func:`repro.experiment.run_all_domains` ride the same executor.
+
+The engine holds no request state between calls and all shared state (the
+cache, counters) is lock-guarded, so one engine instance safely serves the
+``ThreadingHTTPServer`` in :mod:`repro.service.server`.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+
+from ..core.pipeline import NamingOptions, label_corpus
+from ..core.semantics import SemanticComparator
+from ..schema.clusters import Mapping
+from ..schema.interface import QueryInterface
+from ..schema.serialize import (
+    interface_from_dict,
+    mapping_from_dict,
+    node_to_dict,
+)
+from .cache import LRUCache
+from .fingerprint import corpus_fingerprint, options_from_dict, options_to_dict
+
+__all__ = [
+    "BatchOutcome",
+    "LabelingEngine",
+    "LabelingRequest",
+    "RequestError",
+    "execute_batch",
+]
+
+
+class RequestError(ValueError):
+    """A request that cannot be executed (maps to HTTP 400)."""
+
+
+@dataclass
+class LabelingRequest:
+    """One validated unit of work for the engine."""
+
+    interfaces: list[QueryInterface]
+    mapping: Mapping
+    options: NamingOptions
+    lexicon: dict | None = None
+    domain: str | None = None
+    include_lint: bool = False
+    timeout: float | None = None
+    fingerprint: str = field(default="", repr=False)
+
+    @classmethod
+    def from_payload(cls, payload) -> "LabelingRequest":
+        """Parse + validate an untrusted JSON payload (raises :class:`RequestError`)."""
+        if not isinstance(payload, dict):
+            raise RequestError("request payload must be a JSON object")
+        has_corpus = "corpus" in payload
+        has_domain = "domain" in payload
+        if has_corpus == has_domain:
+            raise RequestError(
+                "request must carry exactly one of 'corpus' or 'domain'"
+            )
+
+        try:
+            options = options_from_dict(payload.get("options"))
+        except ValueError as exc:
+            raise RequestError(str(exc)) from None
+
+        lexicon = payload.get("lexicon")
+        if lexicon is not None:
+            if not isinstance(lexicon, dict):
+                raise RequestError("'lexicon' must be an object with synsets/hypernyms")
+            from ..lexicon.io import wordnet_from_dict
+
+            try:  # validate eagerly so bad overlays fail as 400, not 500
+                wordnet_from_dict(lexicon, extend_default=False)
+            except (ValueError, TypeError) as exc:
+                raise RequestError(f"invalid lexicon overlay: {exc}") from None
+
+        timeout = payload.get("timeout")
+        if timeout is not None:
+            try:
+                timeout = float(timeout)
+            except (TypeError, ValueError):
+                raise RequestError("'timeout' must be a number of seconds") from None
+            if timeout <= 0:
+                raise RequestError("'timeout' must be positive")
+
+        domain = None
+        if has_domain:
+            from ..datasets.registry import DOMAINS, load_domain
+
+            domain = payload["domain"]
+            if domain not in DOMAINS:
+                known = ", ".join(sorted(DOMAINS))
+                raise RequestError(f"unknown domain {domain!r}; known: {known}")
+            seed = payload.get("seed", 0)
+            if not isinstance(seed, int) or isinstance(seed, bool):
+                raise RequestError("'seed' must be an integer")
+            dataset = load_domain(domain, seed=seed)
+            interfaces, mapping = dataset.interfaces, dataset.mapping
+        else:
+            corpus = payload["corpus"]
+            if not isinstance(corpus, dict):
+                raise RequestError("'corpus' must be an object")
+            if not isinstance(corpus.get("interfaces"), list) or not corpus["interfaces"]:
+                raise RequestError("'corpus.interfaces' must be a non-empty array")
+            if not isinstance(corpus.get("mapping"), dict):
+                raise RequestError("'corpus.mapping' must be an object")
+            try:
+                interfaces = [
+                    interface_from_dict(d) for d in corpus["interfaces"]
+                ]
+                mapping = mapping_from_dict(corpus["mapping"], interfaces)
+            except (KeyError, TypeError, ValueError, AttributeError) as exc:
+                raise RequestError(f"malformed corpus: {exc}") from None
+
+        # Fingerprint before the 1:m reduction mutates the trees: the key
+        # must describe the *input*, which is what a repeat request carries.
+        digest = corpus_fingerprint(
+            interfaces, mapping, options=options, lexicon=lexicon
+        )
+        return cls(
+            interfaces=interfaces,
+            mapping=mapping,
+            options=options,
+            lexicon=lexicon,
+            domain=domain,
+            include_lint=bool(payload.get("lint", False)),
+            timeout=timeout,
+            fingerprint=digest,
+        )
+
+
+@dataclass
+class BatchOutcome:
+    """Structured result of one batch item: a value or a classified error."""
+
+    ok: bool
+    value: object = None
+    error: str | None = None
+    error_type: str | None = None
+    elapsed_ms: float = 0.0
+
+
+def _run_timed(task: Callable[[], object]) -> BatchOutcome:
+    start = time.perf_counter()
+    try:
+        value = task()
+    except RequestError as exc:
+        elapsed = (time.perf_counter() - start) * 1000.0
+        return BatchOutcome(
+            ok=False, error=str(exc), error_type="invalid_request",
+            elapsed_ms=elapsed,
+        )
+    except Exception as exc:  # noqa: BLE001 — isolation is the contract
+        elapsed = (time.perf_counter() - start) * 1000.0
+        return BatchOutcome(
+            ok=False,
+            error=f"{type(exc).__name__}: {exc}",
+            error_type="internal",
+            elapsed_ms=elapsed,
+        )
+    elapsed = (time.perf_counter() - start) * 1000.0
+    return BatchOutcome(ok=True, value=value, elapsed_ms=elapsed)
+
+
+def execute_batch(
+    tasks: Sequence[Callable[[], object]],
+    jobs: int = 1,
+    timeout: float | None = None,
+) -> list[BatchOutcome]:
+    """Run ``tasks`` with bounded concurrency and full error isolation.
+
+    Results come back in submission order, one :class:`BatchOutcome` per
+    task; an exception inside a task becomes an error outcome, never a
+    raised exception.  With ``jobs <= 1`` and no ``timeout`` the tasks run
+    inline on the calling thread (deterministic, no thread overhead) —
+    this is the byte-identical path the defaults keep.  ``timeout`` bounds
+    how long the caller waits for each item's result (queueing included);
+    a worker thread past its deadline is abandoned, not interrupted.
+    """
+    jobs = max(1, int(jobs))
+    if jobs == 1 and timeout is None:
+        return [_run_timed(task) for task in tasks]
+
+    outcomes: list[BatchOutcome] = []
+    with ThreadPoolExecutor(
+        max_workers=jobs, thread_name_prefix="repro-batch"
+    ) as pool:
+        futures = [pool.submit(_run_timed, task) for task in tasks]
+        for future in futures:
+            try:
+                outcomes.append(future.result(timeout=timeout))
+            except FutureTimeoutError:
+                future.cancel()
+                outcomes.append(
+                    BatchOutcome(
+                        ok=False,
+                        error=f"timed out after {timeout:g}s",
+                        error_type="timeout",
+                        elapsed_ms=(timeout or 0.0) * 1000.0,
+                    )
+                )
+    return outcomes
+
+
+def _lint_findings_to_dicts(findings) -> list[dict]:
+    return [
+        {
+            "check": finding.check,
+            "severity": finding.severity,
+            "nodes": list(finding.node_names),
+            "message": finding.message,
+        }
+        for finding in findings
+    ]
+
+
+class LabelingEngine:
+    """Validate, cache and execute labeling requests, singly or in batches."""
+
+    def __init__(self, cache_size: int = 128, jobs: int = 1) -> None:
+        self.cache = LRUCache(capacity=cache_size)
+        self.default_jobs = max(1, int(jobs))
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._errors = 0
+        self._started = time.time()
+
+    # ------------------------------------------------------------------
+    # Single requests.
+    # ------------------------------------------------------------------
+
+    def label(self, payload) -> dict:
+        """Execute one request payload (or prebuilt request); JSON-ready response.
+
+        Raises :class:`RequestError` on invalid payloads — batch execution
+        and the HTTP layer turn that into error entries / HTTP 400.  A
+        payload ``timeout`` is enforced by running the pipeline on a helper
+        thread and abandoning it past the deadline.
+        """
+        request = (
+            payload
+            if isinstance(payload, LabelingRequest)
+            else LabelingRequest.from_payload(payload)
+        )
+        if request.timeout is None:
+            return self._label_request(request)
+        outcome = execute_batch(
+            [lambda: self._label_request(request)], jobs=1, timeout=request.timeout
+        )[0]
+        if outcome.ok:
+            return outcome.value
+        if outcome.error_type == "timeout":
+            raise TimeoutError(outcome.error)
+        raise RuntimeError(outcome.error)
+
+    def _label_request(self, request: LabelingRequest) -> dict:
+        with self._lock:
+            self._requests += 1
+        cached = self.cache.get(request.fingerprint)
+        if cached is not None:
+            response = copy.deepcopy(cached)
+            response["cached"] = True
+            if request.include_lint:
+                response["lint"] = self._lint_tree(response["tree"], request)
+            return response
+        try:
+            response = self._execute(request)
+        except Exception:
+            with self._lock:
+                self._errors += 1
+            raise
+        # Lint is keyed by the request, not the corpus content, so the
+        # cached entry stores only the fingerprint-determined part.
+        stored = copy.deepcopy(response)
+        stored.pop("lint", None)
+        self.cache.put(request.fingerprint, stored)
+        response["cached"] = False
+        return response
+
+    def _execute(self, request: LabelingRequest) -> dict:
+        start = time.perf_counter()
+        comparator = self._comparator_for(request)
+        root, result = label_corpus(
+            request.interfaces,
+            request.mapping,
+            comparator=comparator,
+            options=request.options,
+            domain=request.domain,
+        )
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        leaves = list(root.leaves())
+        internal = [n for n in root.internal_nodes() if n is not root]
+        response = {
+            "ok": True,
+            "fingerprint": request.fingerprint,
+            "domain": request.domain,
+            "classification": result.classification.value,
+            "tree": node_to_dict(root),
+            "field_labels": dict(sorted(result.field_labels.items())),
+            "node_labels": dict(sorted(result.node_labels.items())),
+            "options": options_to_dict(request.options),
+            "stats": {
+                "interfaces": len(request.interfaces),
+                "clusters": len(request.mapping),
+                "leaves": len(leaves),
+                "internal_nodes": len(internal),
+                "groups": len(result.group_results),
+                "labeled_fields": sum(
+                    1 for label in result.field_labels.values() if label
+                ),
+                "elapsed_ms": round(elapsed_ms, 3),
+            },
+        }
+        if request.include_lint:
+            from ..lint import lint_interface
+
+            response["lint"] = _lint_findings_to_dicts(
+                lint_interface(root, comparator)
+            )
+        return response
+
+    def _lint_tree(self, tree: dict, request: LabelingRequest) -> list[dict]:
+        """Lint a serialized tree (a cached response) for this request."""
+        from ..lint import lint_node_dict
+
+        return _lint_findings_to_dicts(
+            lint_node_dict(tree, self._comparator_for(request))
+        )
+
+    def _comparator_for(self, request: LabelingRequest) -> SemanticComparator:
+        """A comparator for this request: fresh for overlays, per-thread otherwise."""
+        if request.lexicon is not None:
+            from ..core.label import LabelAnalyzer
+            from ..lexicon.io import wordnet_from_dict
+
+            return SemanticComparator(
+                LabelAnalyzer(wordnet_from_dict(request.lexicon))
+            )
+        comparator = getattr(self._local, "comparator", None)
+        if comparator is None:
+            comparator = SemanticComparator()
+            self._local.comparator = comparator
+        return comparator
+
+    # ------------------------------------------------------------------
+    # Batches.
+    # ------------------------------------------------------------------
+
+    def label_batch(
+        self,
+        payloads: Sequence,
+        jobs: int | None = None,
+        timeout: float | None = None,
+    ) -> list[dict]:
+        """Label many payloads concurrently; one response dict per payload.
+
+        Invalid or failing items degrade to ``{"ok": false, ...}`` entries
+        in their slot — a poisoned corpus never takes the batch down.
+        """
+        jobs = self.default_jobs if jobs is None else max(1, int(jobs))
+        tasks = [
+            (lambda p=payload: self._label_request(LabelingRequest.from_payload(p)))
+            for payload in payloads
+        ]
+        responses: list[dict] = []
+        for outcome in execute_batch(tasks, jobs=jobs, timeout=timeout):
+            if outcome.ok:
+                responses.append(outcome.value)
+            else:
+                responses.append(
+                    {
+                        "ok": False,
+                        "error": outcome.error,
+                        "error_type": outcome.error_type,
+                        "elapsed_ms": round(outcome.elapsed_ms, 3),
+                    }
+                )
+        return responses
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle.
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Engine counters + cache stats (embedded in ``GET /metrics``)."""
+        with self._lock:
+            requests, errors = self._requests, self._errors
+        return {
+            "requests": requests,
+            "errors": errors,
+            "uptime_s": round(time.time() - self._started, 3),
+            "default_jobs": self.default_jobs,
+            "cache": self.cache.stats().to_dict(),
+        }
+
+    def close(self) -> None:
+        """Release cached results (symmetry with the server lifecycle)."""
+        self.cache.clear()

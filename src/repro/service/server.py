@@ -1,0 +1,292 @@
+"""Stdlib-only HTTP JSON API over the labeling engine.
+
+Endpoints
+---------
+``GET /healthz``   liveness: ``{"status": "ok", "uptime_s": ...}``.
+``GET /metrics``   request counts per endpoint/status, latency percentiles
+                   computed from a fixed-size ring buffer, engine + cache
+                   counters.
+``POST /label``    one labeling request (see :mod:`repro.service.engine`
+                   for the payload shape); repeated identical requests are
+                   served from the result cache.
+``POST /batch``    ``{"requests": [...], "jobs": N, "timeout": s}`` — the
+                   engine fans the items over its batch executor; per-item
+                   failures come back as error entries, HTTP status stays
+                   200.
+
+Built on ``http.server.ThreadingHTTPServer`` so the package keeps its
+no-dependency guarantee; one daemon thread per connection, all shared
+state behind the engine's and the metrics registry's locks.
+:class:`LabelingServer` wraps the lifecycle (ephemeral-port bind, start,
+graceful shutdown) for both the CLI and the tests.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .engine import LabelingEngine, RequestError
+
+__all__ = ["LabelingServer", "MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Thread-safe request counters + a latency ring buffer with percentiles."""
+
+    def __init__(self, window: int = 1024) -> None:
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=window)
+        self._by_endpoint: dict[str, int] = {}
+        self._by_status: dict[int, int] = {}
+        self._started = time.time()
+
+    def record(self, endpoint: str, status: int, elapsed_ms: float) -> None:
+        with self._lock:
+            self._by_endpoint[endpoint] = self._by_endpoint.get(endpoint, 0) + 1
+            self._by_status[status] = self._by_status.get(status, 0) + 1
+            self._latencies.append(elapsed_ms)
+
+    @staticmethod
+    def _percentile(ordered: list[float], pct: float) -> float:
+        """Nearest-rank percentile of an already-sorted sample."""
+        if not ordered:
+            return 0.0
+        rank = max(1, -(-len(ordered) * pct // 100))  # ceil without math
+        return ordered[int(rank) - 1]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            sample = sorted(self._latencies)
+            by_endpoint = dict(sorted(self._by_endpoint.items()))
+            by_status = {str(k): v for k, v in sorted(self._by_status.items())}
+        latency = {
+            "window": len(sample),
+            "p50_ms": round(self._percentile(sample, 50), 3),
+            "p90_ms": round(self._percentile(sample, 90), 3),
+            "p99_ms": round(self._percentile(sample, 99), 3),
+            "max_ms": round(sample[-1], 3) if sample else 0.0,
+            "mean_ms": round(sum(sample) / len(sample), 3) if sample else 0.0,
+        }
+        return {
+            "uptime_s": round(time.time() - self._started, 3),
+            "requests_total": sum(by_endpoint.values()),
+            "by_endpoint": by_endpoint,
+            "by_status": by_status,
+            "latency": latency,
+        }
+
+
+class _LabelingHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the engine + metrics for its handlers."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, engine: LabelingEngine, quiet: bool = True):
+        super().__init__(address, _Handler)
+        self.engine = engine
+        self.metrics = MetricsRegistry()
+        self.quiet = quiet
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route the four endpoints; every response is JSON with Content-Length."""
+
+    server: _LabelingHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing.
+    # ------------------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.server.quiet:  # pragma: no cover - operator logging
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise RequestError("request body required")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise RequestError(f"body is not valid JSON: {exc}") from None
+
+    def _handle(self, endpoint: str, fn) -> None:
+        start = time.perf_counter()
+        try:
+            status, payload = fn()
+        except RequestError as exc:
+            status, payload = 400, {
+                "ok": False, "error": str(exc), "error_type": "invalid_request",
+            }
+        except TimeoutError as exc:
+            status, payload = 504, {
+                "ok": False, "error": str(exc), "error_type": "timeout",
+            }
+        except Exception as exc:  # noqa: BLE001 - the server must answer
+            status, payload = 500, {
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "error_type": "internal",
+            }
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        self.server.metrics.record(endpoint, status, elapsed_ms)
+        self._send_json(status, payload)
+
+    # ------------------------------------------------------------------
+    # Endpoints.
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/healthz":
+            self._handle("/healthz", lambda: (200, {
+                "status": "ok",
+                "uptime_s": self.server.engine.stats()["uptime_s"],
+            }))
+        elif self.path == "/metrics":
+            self._handle("/metrics", lambda: (200, {
+                "http": self.server.metrics.snapshot(),
+                "engine": self.server.engine.stats(),
+            }))
+        else:
+            self._handle(self.path, lambda: (404, {
+                "ok": False, "error": f"no such endpoint {self.path!r}",
+                "error_type": "not_found",
+            }))
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/label":
+            self._handle("/label", self._post_label)
+        elif self.path == "/batch":
+            self._handle("/batch", self._post_batch)
+        else:
+            self._handle(self.path, lambda: (404, {
+                "ok": False, "error": f"no such endpoint {self.path!r}",
+                "error_type": "not_found",
+            }))
+
+    def _post_label(self):
+        payload = self._read_json()
+        return 200, self.server.engine.label(payload)
+
+    def _post_batch(self):
+        payload = self._read_json()
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("requests"), list
+        ):
+            raise RequestError("batch payload must carry a 'requests' array")
+        jobs = payload.get("jobs")
+        if jobs is not None and (isinstance(jobs, bool) or not isinstance(jobs, int)):
+            raise RequestError("'jobs' must be an integer")
+        timeout = payload.get("timeout")
+        if timeout is not None:
+            try:
+                timeout = float(timeout)
+            except (TypeError, ValueError):
+                raise RequestError("'timeout' must be a number of seconds") from None
+        results = self.server.engine.label_batch(
+            payload["requests"], jobs=jobs, timeout=timeout
+        )
+        return 200, {
+            "ok": all(r.get("ok") for r in results),
+            "count": len(results),
+            "results": results,
+        }
+
+
+class LabelingServer:
+    """Lifecycle wrapper: bind, serve on a background thread, stop cleanly.
+
+    ::
+
+        with LabelingServer(port=0) as server:     # 0 = ephemeral port
+            client = ServiceClient(server.url)
+            client.healthz()
+
+    ``serve_forever()`` (no background thread) is what ``repro serve``
+    uses; ``stop()`` is idempotent and also runs on context exit.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_size: int = 128,
+        jobs: int = 1,
+        engine: LabelingEngine | None = None,
+        quiet: bool = True,
+    ) -> None:
+        self.engine = engine or LabelingEngine(cache_size=cache_size, jobs=jobs)
+        self._httpd = _LabelingHTTPServer((host, port), self.engine, quiet=quiet)
+        self._thread: threading.Thread | None = None
+        self._loop_entered = False
+        self._stopped = False
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "LabelingServer":
+        """Serve on a daemon thread; returns immediately."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._loop_entered = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-serve:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`stop` (or interrupt)."""
+        self._loop_entered = True
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop accepting, close the socket, drop caches.
+
+        Idempotent; in-flight handlers finish (``shutdown`` only stops the
+        accept loop, daemon handler threads drain on their own).
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        # shutdown() handshakes with a serve loop; calling it when no loop
+        # ever ran would block forever on the loop-exit event.
+        if self._loop_entered:
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.engine.close()
+
+    def __enter__(self) -> "LabelingServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

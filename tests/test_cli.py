@@ -127,6 +127,52 @@ class TestDescribeCommand:
         assert "cluster frequencies" in out
 
 
+class TestTable6Jobs:
+    def test_jobs_flag_produces_same_table(self, capsys):
+        assert main(["table6", "--respondents", "1", "--jobs", "1"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["table6", "--respondents", "1", "--jobs", "4"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == sequential
+
+
+class TestBatchCommand:
+    def test_labels_many_corpora(self, tmp_path, capsys):
+        first = tmp_path / "job.json"
+        second = tmp_path / "auto.json"
+        main(["generate", "job", "-o", str(first)])
+        main(["generate", "auto", "-o", str(second)])
+        capsys.readouterr()
+        assert main(["batch", str(first), str(second), "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "[job.json]" in out and "[auto.json]" in out
+        assert "2/2 corpora labeled" in out
+
+    def test_bad_corpus_degrades_not_kills(self, tmp_path, capsys):
+        good = tmp_path / "job.json"
+        bad = tmp_path / "bad.json"
+        main(["generate", "job", "-o", str(good)])
+        bad.write_text("{not json")
+        capsys.readouterr()
+        assert main(["batch", str(good), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "[job.json]" in out and "ERROR" in out
+        assert "1/2 corpora labeled" in out
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 8777 and args.cache_size == 128 and args.jobs == 4
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--cache-size", "4", "--jobs", "2"]
+        )
+        assert (args.port, args.cache_size, args.jobs) == (0, 4, 2)
+
+
 class TestLintCommand:
     def test_lint_bad_form_fails(self, tmp_path, capsys):
         page = tmp_path / "bad.html"

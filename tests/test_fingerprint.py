@@ -1,0 +1,145 @@
+"""Corpus fingerprints: stability, canonicalization, round-trip determinism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.pipeline import NamingOptions
+from repro.datasets.registry import load_domain
+from repro.schema.serialize import corpus_to_dict, load_corpus, save_corpus
+from repro.service.fingerprint import (
+    corpus_fingerprint,
+    fingerprint_document,
+    options_from_dict,
+    options_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def job_dataset():
+    return load_domain("job", seed=0)
+
+
+class TestFingerprintStability:
+    def test_same_corpus_same_digest(self, job_dataset):
+        a = corpus_fingerprint(job_dataset.interfaces, job_dataset.mapping)
+        b = corpus_fingerprint(job_dataset.interfaces, job_dataset.mapping)
+        assert a == b
+        assert len(a) == 64  # sha256 hex
+
+    def test_regenerated_corpus_same_digest(self, job_dataset):
+        regenerated = load_domain("job", seed=0)
+        assert corpus_fingerprint(
+            job_dataset.interfaces, job_dataset.mapping
+        ) == corpus_fingerprint(regenerated.interfaces, regenerated.mapping)
+
+    def test_different_seed_different_digest(self, job_dataset):
+        other = load_domain("job", seed=1)
+        assert corpus_fingerprint(
+            job_dataset.interfaces, job_dataset.mapping
+        ) != corpus_fingerprint(other.interfaces, other.mapping)
+
+    def test_options_change_digest(self, job_dataset):
+        base = corpus_fingerprint(job_dataset.interfaces, job_dataset.mapping)
+        ablated = corpus_fingerprint(
+            job_dataset.interfaces,
+            job_dataset.mapping,
+            options=NamingOptions(use_instances=False),
+        )
+        assert base != ablated
+
+    def test_lexicon_overlay_changes_digest(self, job_dataset):
+        base = corpus_fingerprint(job_dataset.interfaces, job_dataset.mapping)
+        overlaid = corpus_fingerprint(
+            job_dataset.interfaces,
+            job_dataset.mapping,
+            lexicon={"synsets": [["position", "role"]]},
+        )
+        assert base != overlaid
+
+    def test_lexicon_order_does_not_change_digest(self, job_dataset):
+        args = (job_dataset.interfaces, job_dataset.mapping)
+        a = corpus_fingerprint(
+            *args,
+            lexicon={"synsets": [["a", "b"], ["c", "d"]], "hypernyms": [["x", "y"]]},
+        )
+        b = corpus_fingerprint(
+            *args,
+            lexicon={"synsets": [["d", "c"], ["b", "a"]], "hypernyms": [["x", "y"]]},
+        )
+        assert a == b
+
+
+class TestDocumentCanonicalization:
+    def test_mapping_key_order_irrelevant(self):
+        doc_a = {
+            "interfaces": [{"name": "i", "root": {"name": "r", "children": [
+                {"name": "f1", "label": "Adults", "cluster": "c_a"},
+                {"name": "f2", "label": "Children", "cluster": "c_c"},
+            ]}}],
+            "mapping": {"c_a": {"i": "f1"}, "c_c": {"i": "f2"}},
+        }
+        doc_b = json.loads(json.dumps(doc_a))
+        doc_b["mapping"] = {"c_c": {"i": "f2"}, "c_a": {"i": "f1"}}
+        assert fingerprint_document(doc_a) == fingerprint_document(doc_b)
+
+    def test_document_matches_object_fingerprint(self):
+        dataset = load_domain("auto", seed=0)
+        doc = corpus_to_dict(dataset.interfaces, dataset.mapping)
+        assert fingerprint_document(doc) == corpus_fingerprint(
+            dataset.interfaces, dataset.mapping
+        )
+
+
+class TestRoundTripDeterminism:
+    def test_save_load_save_is_byte_identical(self, tmp_path):
+        dataset = load_domain("auto", seed=2)
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        save_corpus(first, dataset.interfaces, dataset.mapping)
+        interfaces, mapping = load_corpus(first)
+        save_corpus(second, interfaces, mapping)
+        assert first.read_text() == second.read_text()
+
+    def test_round_trip_preserves_fingerprint(self, tmp_path):
+        dataset = load_domain("book", seed=0)
+        digest = corpus_fingerprint(dataset.interfaces, dataset.mapping)
+        path = tmp_path / "book.json"
+        save_corpus(path, dataset.interfaces, dataset.mapping)
+        interfaces, mapping = load_corpus(path)
+        assert corpus_fingerprint(interfaces, mapping) == digest
+
+    def test_mapping_registration_order_irrelevant(self, tmp_path):
+        dataset = load_domain("hotels", seed=0)
+        digest = corpus_fingerprint(dataset.interfaces, dataset.mapping)
+        path = tmp_path / "hotels.json"
+        save_corpus(path, dataset.interfaces, dataset.mapping)
+        document = json.loads(path.read_text())
+        document["mapping"] = dict(reversed(list(document["mapping"].items())))
+        shuffled = tmp_path / "shuffled.json"
+        shuffled.write_text(json.dumps(document))
+        interfaces, mapping = load_corpus(shuffled)
+        assert corpus_fingerprint(interfaces, mapping) == digest
+
+
+class TestOptionsDictRoundTrip:
+    def test_defaults_round_trip(self):
+        assert options_from_dict(options_to_dict(None)) == NamingOptions()
+
+    def test_custom_round_trip(self):
+        options = NamingOptions(use_instances=False, repair_homonyms=False)
+        assert options_from_dict(options_to_dict(options)) == options
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown naming option"):
+            options_from_dict({"speed": "ludicrous"})
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError, match="max_level"):
+            options_from_dict({"max_level": "telepathy"})
+
+    def test_bad_rule_rejected(self):
+        with pytest.raises(ValueError, match="enabled_rules"):
+            options_from_dict({"enabled_rules": ["LI9"]})

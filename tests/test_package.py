@@ -33,6 +33,7 @@ class TestTopLevelExports:
             "repro.cli",
             "repro.report",
             "repro.bench",
+            "repro.service",
         ],
         ids=lambda m: m,
     )
@@ -45,6 +46,7 @@ class TestTopLevelExports:
             "repro.lexicon", "repro.schema", "repro.core",
             "repro.datasets", "repro.survey", "repro.html",
             "repro.extensions", "repro.matching", "repro.merge",
+            "repro.service",
         ):
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", ()):

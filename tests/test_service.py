@@ -1,0 +1,324 @@
+"""The labeling service: cache, engine, batch isolation, HTTP round trips."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.datasets.registry import load_domain
+from repro.schema.serialize import corpus_to_dict
+from repro.service.cache import LRUCache
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.engine import (
+    LabelingEngine,
+    LabelingRequest,
+    RequestError,
+    execute_batch,
+)
+from repro.service.server import LabelingServer, MetricsRegistry
+
+
+class TestLRUCache:
+    def test_miss_then_hit(self):
+        cache = LRUCache(capacity=2)
+        assert cache.get("k") is None
+        cache.put("k", 1)
+        assert cache.get("k") == 1
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_eviction_is_lru(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh 'a'; 'b' is now coldest
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats().evictions == 1
+        assert len(cache) == 2
+
+    def test_zero_capacity_disables_storage(self):
+        cache = LRUCache(capacity=0)
+        cache.put("k", 1)
+        assert cache.get("k") is None
+        stats = cache.stats()
+        assert stats.misses == 1 and stats.size == 0
+
+    def test_clear_keeps_counters(self):
+        cache = LRUCache(capacity=4)
+        cache.put("k", 1)
+        cache.get("k")
+        cache.clear()
+        assert cache.get("k") is None
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.size == 0
+
+
+class TestExecuteBatch:
+    def test_results_in_submission_order(self):
+        outcomes = execute_batch([lambda i=i: i * i for i in range(6)], jobs=3)
+        assert [o.value for o in outcomes] == [0, 1, 4, 9, 16, 25]
+        assert all(o.ok for o in outcomes)
+
+    def test_partial_failure_is_isolated(self):
+        def boom():
+            raise RuntimeError("poisoned corpus")
+
+        outcomes = execute_batch([lambda: "ok", boom, lambda: "also ok"], jobs=2)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert "poisoned corpus" in outcomes[1].error
+        assert outcomes[1].error_type == "internal"
+
+    def test_timeout_degrades_to_error(self):
+        def slow():
+            time.sleep(5)
+            return "never"
+
+        outcomes = execute_batch([slow, lambda: "fast"], jobs=2, timeout=0.2)
+        assert not outcomes[0].ok
+        assert outcomes[0].error_type == "timeout"
+        assert outcomes[1].ok and outcomes[1].value == "fast"
+
+    def test_sequential_path_matches_parallel(self):
+        tasks = [lambda i=i: i + 1 for i in range(5)]
+        sequential = [o.value for o in execute_batch(tasks, jobs=1)]
+        parallel = [o.value for o in execute_batch(tasks, jobs=4)]
+        assert sequential == parallel
+
+
+class TestEngine:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return LabelingEngine(cache_size=8)
+
+    def test_domain_request(self, engine):
+        response = engine.label({"domain": "job", "seed": 0})
+        assert response["ok"] and response["cached"] is False
+        assert response["classification"] in (
+            "consistent", "weakly_consistent", "inconsistent"
+        )
+        assert response["stats"]["leaves"] > 0
+        assert response["tree"]["children"]
+
+    def test_repeat_request_hits_cache(self, engine):
+        cold = engine.label({"domain": "auto", "seed": 0})
+        warm = engine.label({"domain": "auto", "seed": 0})
+        assert cold["cached"] is False and warm["cached"] is True
+        assert warm["fingerprint"] == cold["fingerprint"]
+        assert warm["field_labels"] == cold["field_labels"]
+        assert engine.stats()["cache"]["hits"] >= 1
+
+    def test_corpus_and_domain_requests_share_cache_key(self, engine):
+        dataset = load_domain("hotels", seed=0)
+        document = corpus_to_dict(dataset.interfaces, dataset.mapping)
+        engine.label({"domain": "hotels", "seed": 0})
+        via_corpus = engine.label({"corpus": document})
+        assert via_corpus["cached"] is True
+
+    def test_cached_response_is_isolated_copy(self, engine):
+        first = engine.label({"domain": "job", "seed": 3})
+        first["field_labels"].clear()
+        first["tree"]["children"] = []
+        second = engine.label({"domain": "job", "seed": 3})
+        assert second["field_labels"] and second["tree"]["children"]
+
+    def test_lint_flag_adds_findings(self, engine):
+        response = engine.label({"domain": "airline", "seed": 0, "lint": True})
+        assert isinstance(response["lint"], list)
+        for finding in response["lint"]:
+            assert {"check", "severity", "nodes", "message"} <= set(finding)
+
+    def test_lint_flag_respected_across_cache_hits(self):
+        engine = LabelingEngine(cache_size=8)
+        plain = engine.label({"domain": "realestate", "seed": 0})
+        assert "lint" not in plain
+        linted = engine.label({"domain": "realestate", "seed": 0, "lint": True})
+        assert linted["cached"] is True
+        assert isinstance(linted["lint"], list)
+        plain_again = engine.label({"domain": "realestate", "seed": 0})
+        assert plain_again["cached"] is True
+        assert "lint" not in plain_again
+
+    def test_options_are_honored_and_keyed(self, engine):
+        base = engine.label({"domain": "realestate", "seed": 0})
+        ablated = engine.label(
+            {"domain": "realestate", "seed": 0, "options": {"use_instances": False}}
+        )
+        assert ablated["fingerprint"] != base["fingerprint"]
+        assert ablated["cached"] is False
+
+    def test_batch_partial_failure(self, engine):
+        responses = engine.label_batch(
+            [
+                {"domain": "job", "seed": 0},
+                {"domain": "atlantis"},
+                "not even an object",
+                {"domain": "auto", "seed": 0},
+            ],
+            jobs=2,
+        )
+        assert [r.get("ok") for r in responses] == [True, False, False, True]
+        assert responses[1]["error_type"] == "invalid_request"
+        assert "atlantis" in responses[1]["error"]
+        assert responses[2]["error_type"] == "invalid_request"
+
+
+class TestRequestValidation:
+    def test_needs_corpus_or_domain(self):
+        with pytest.raises(RequestError, match="exactly one"):
+            LabelingRequest.from_payload({})
+        with pytest.raises(RequestError, match="exactly one"):
+            LabelingRequest.from_payload({"domain": "job", "corpus": {}})
+
+    def test_unknown_domain(self):
+        with pytest.raises(RequestError, match="unknown domain"):
+            LabelingRequest.from_payload({"domain": "warehouse"})
+
+    def test_bad_seed(self):
+        with pytest.raises(RequestError, match="seed"):
+            LabelingRequest.from_payload({"domain": "job", "seed": "zero"})
+
+    def test_malformed_corpus(self):
+        with pytest.raises(RequestError, match="malformed corpus"):
+            LabelingRequest.from_payload(
+                {"corpus": {"interfaces": [{"oops": True}], "mapping": {}}}
+            )
+
+    def test_empty_interfaces(self):
+        with pytest.raises(RequestError, match="non-empty"):
+            LabelingRequest.from_payload(
+                {"corpus": {"interfaces": [], "mapping": {}}}
+            )
+
+    def test_bad_options(self):
+        with pytest.raises(RequestError, match="max_level"):
+            LabelingRequest.from_payload(
+                {"domain": "job", "options": {"max_level": "psychic"}}
+            )
+
+    def test_bad_timeout(self):
+        with pytest.raises(RequestError, match="timeout"):
+            LabelingRequest.from_payload({"domain": "job", "timeout": -1})
+
+    def test_bad_lexicon(self):
+        with pytest.raises(RequestError, match="lexicon"):
+            LabelingRequest.from_payload(
+                {"domain": "job", "lexicon": {"hypernyms": [["only-one"]]}}
+            )
+
+
+class TestMetricsRegistry:
+    def test_percentiles_from_ring_buffer(self):
+        registry = MetricsRegistry(window=100)
+        for ms in range(1, 101):
+            registry.record("/label", 200, float(ms))
+        snap = registry.snapshot()
+        assert snap["requests_total"] == 100
+        assert snap["latency"]["p50_ms"] == 50.0
+        assert snap["latency"]["p99_ms"] == 99.0
+        assert snap["latency"]["max_ms"] == 100.0
+
+    def test_window_bounds_memory(self):
+        registry = MetricsRegistry(window=10)
+        for ms in range(1000):
+            registry.record("/label", 200, float(ms))
+        assert registry.snapshot()["latency"]["window"] == 10
+
+
+class TestHTTPService:
+    @pytest.fixture(scope="class")
+    def server(self):
+        with LabelingServer(port=0, cache_size=16) as running:
+            yield running
+
+    @pytest.fixture(scope="class")
+    def client(self, server):
+        return ServiceClient(server.url, timeout=60)
+
+    def test_healthz(self, client):
+        payload = client.healthz()
+        assert payload["status"] == "ok"
+        assert payload["uptime_s"] >= 0
+
+    def test_label_round_trip_and_cache_metrics(self, client):
+        cold = client.label(domain="job", seed=0)
+        assert cold["ok"] and cold["cached"] is False
+        assert cold["tree"]["children"]
+
+        hits_before = client.metrics()["engine"]["cache"]["hits"]
+        warm = client.label(domain="job", seed=0)
+        assert warm["cached"] is True
+        assert warm["classification"] == cold["classification"]
+        hits_after = client.metrics()["engine"]["cache"]["hits"]
+        assert hits_after == hits_before + 1
+
+    def test_label_raw_corpus_payload(self, client):
+        dataset = load_domain("auto", seed=1)
+        response = client.label_corpus(dataset.interfaces, dataset.mapping)
+        assert response["ok"]
+        assert response["stats"]["interfaces"] == len(dataset.interfaces)
+
+    def test_invalid_request_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.label(domain="warehouse")
+        assert excinfo.value.status == 400
+        assert excinfo.value.payload["error_type"] == "invalid_request"
+
+    def test_unknown_endpoint_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_batch_isolates_bad_item(self, client):
+        payload = client.batch(
+            [{"domain": "job", "seed": 0}, {"domain": "atlantis"}], jobs=2
+        )
+        assert payload["count"] == 2
+        assert payload["ok"] is False
+        oks = [r.get("ok") for r in payload["results"]]
+        assert oks == [True, False]
+
+    def test_metrics_shape(self, client):
+        client.healthz()
+        metrics = client.metrics()
+        assert metrics["http"]["requests_total"] >= 1
+        assert "/healthz" in metrics["http"]["by_endpoint"]
+        latency = metrics["http"]["latency"]
+        assert {"p50_ms", "p90_ms", "p99_ms", "max_ms", "window"} <= set(latency)
+        assert metrics["engine"]["cache"]["capacity"] == 16
+
+
+class TestRunAllDomainsJobs:
+    def test_parallel_matches_sequential(self):
+        from repro.experiment import run_all_domains
+
+        sequential = run_all_domains(seed=0, respondent_count=1, jobs=1)
+        parallel = run_all_domains(seed=0, respondent_count=1, jobs=4)
+        assert list(sequential) == list(parallel)
+        for name in sequential:
+            a, b = sequential[name], parallel[name]
+            assert a.classification == b.classification
+            assert a.fld_acc == b.fld_acc
+            assert a.int_acc == b.int_acc
+            assert a.ha == b.ha
+            assert a.labeling.field_labels == b.labeling.field_labels
+
+
+class TestLintNodeDict:
+    def test_lints_service_tree_payload(self, comparator):
+        engine = LabelingEngine(cache_size=0)
+        response = engine.label({"domain": "airline", "seed": 0, "lint": True})
+        from repro.lint import lint_node_dict
+
+        findings = lint_node_dict(response["tree"], comparator)
+        assert len(findings) == len(response["lint"])
+
+    def test_rejects_non_tree(self):
+        from repro.lint import lint_node_dict
+
+        with pytest.raises(ValueError, match="serialized schema node"):
+            lint_node_dict({"not": "a tree"})
