@@ -10,6 +10,7 @@
     python -m repro parse page.html        # extract forms from HTML
     python -m repro serve --port 8080      # the HTTP labeling service
     python -m repro batch a.json b.json --jobs 4
+    python -m repro profile -o BENCH_perf.json
 
 Every command accepts ``--seed`` where a corpus is generated.
 """
@@ -123,6 +124,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-corpus time budget in seconds")
     batch.add_argument("--lint", action="store_true",
                        help="include well-designedness findings per corpus")
+
+    profile = sub.add_parser(
+        "profile",
+        help="cold-vs-warm labeling profile + cache hit ratios (perf report)",
+    )
+    profile.add_argument("--domains", nargs="+", default=None,
+                         choices=sorted(DOMAINS),
+                         help="domains to profile (default: all)")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--repeats", type=int, default=3,
+                         help="warm labelings per domain after the cold one")
+    profile.add_argument("-o", "--out", type=Path, default=None,
+                         help="also write the report as JSON (BENCH_perf.json)")
+    profile.add_argument("--json", action="store_true",
+                         help="print the JSON report instead of the summary")
 
     return parser
 
@@ -390,6 +406,56 @@ def _cmd_batch(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_profile(args) -> int:
+    from .perf import profile_labeling
+
+    report = profile_labeling(
+        domains=args.domains, seed=args.seed, repeats=args.repeats
+    )
+    if args.out is not None:
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(report, indent=2))
+        if args.out is not None:
+            print(f"wrote {args.out}", file=sys.stderr)
+        return 0
+
+    print(f"{'Domain':<12} {'cold ms':>9} {'warm ms':>9} {'speedup':>8}")
+    print("-" * 40)
+    for name, row in report["domains"].items():
+        print(
+            f"{DOMAIN_TITLES[name]:<12} {row['cold_ms']:>9.1f} "
+            f"{row['warm_ms']:>9.1f} {row['speedup']:>7.1f}x"
+        )
+    totals = report["totals"]
+    print("-" * 40)
+    print(
+        f"{'TOTAL':<12} {totals['cold_ms']:>9.1f} {totals['warm_ms']:>9.1f} "
+        f"{totals['speedup']:>7.1f}x"
+    )
+    print(f"warm labelings/s: {totals['warm_labelings_per_s']}")
+    print("\ncache hit rates (one shared comparator):")
+    for cache_name in (
+        "labels", "relations", "predicates", "group_results",
+        "consistency_pairs",
+    ):
+        stats = report["caches"][cache_name]
+        print(
+            f"  {cache_name:<18} {stats['hit_rate']:>7.1%}  "
+            f"({stats['hits']} hits / {stats['misses']} misses)"
+        )
+    wordnet = report["caches"]["wordnet"]
+    for cache_name in ("base_form", "relations"):
+        stats = wordnet[cache_name]
+        print(
+            f"  wordnet.{cache_name:<10} {stats['hit_rate']:>7.1%}  "
+            f"({stats['hits']} hits / {stats['misses']} misses)"
+        )
+    if args.out is not None:
+        print(f"\nwrote {args.out}")
+    return 0
+
+
 _COMMANDS = {
     "table6": _cmd_table6,
     "figure10": _cmd_figure10,
@@ -403,6 +469,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "serve": _cmd_serve,
     "batch": _cmd_batch,
+    "profile": _cmd_profile,
 }
 
 

@@ -22,11 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import IntEnum
 
+from ..perf import CacheCounter
 from .group_relation import GroupRelation, GroupTuple
-from .semantics import SemanticComparator
+from .semantics import LabelRelation, SemanticComparator
 
 __all__ = [
     "ConsistencyLevel",
+    "ConsistencyPairCache",
     "Partition",
     "tuples_consistent",
     "combine",
@@ -49,16 +51,49 @@ class ConsistencyLevel(IntEnum):
     SYNONYMY = 3
 
 
+class ConsistencyPairCache:
+    """Per-run memo for Definition-2 row-pair decisions.
+
+    The naming algorithm re-asks the same row pairs many times per group:
+    ``find_partitions`` runs once per ladder level, ``combine_closure``
+    pairs every derived tuple against the originals, and the spanning-tree
+    fallback re-walks the component.  One cache instance scopes one
+    ``name_group`` run, so a tuple pair is compared at most once per group
+    per run — and a long-lived relation stays uncached across runs, which
+    keeps the memo small and makes invalidation trivial (drop the object).
+
+    The key includes the level, the column restriction, and both rows'
+    cluster/label tuples; consistency is symmetric, so both orders are
+    stored.  Hits and misses roll up into ``counter`` (the comparator's
+    ``pair_counter`` when created by ``name_group``), surfacing in
+    ``cache_stats()`` under ``consistency_pairs``.
+    """
+
+    __slots__ = ("entries", "counter")
+
+    def __init__(self, counter: CacheCounter | None = None) -> None:
+        self.entries: dict = {}
+        self.counter = counter if counter is not None else CacheCounter("pairs")
+
+
 def _labels_consistent(
     a: str, b: str, level: ConsistencyLevel, comparator: SemanticComparator
 ) -> bool:
-    """Two non-null labels witness consistency at ``level`` (cumulative)."""
-    if comparator.string_equal(a, b):
+    """Two non-null labels witness consistency at ``level`` (cumulative).
+
+    Definition 2's ladder, answered from the comparator's memoised
+    strongest relation: string-equality witnesses every level, equality
+    witnesses EQUALITY and up, synonymy witnesses SYNONYMY.  Equivalent to
+    checking ``string_equal`` / ``equal`` / ``synonym`` in turn, because
+    ``relation_between`` tries those exact predicates strongest-first.
+    """
+    relation = comparator.relation_between(a, b)
+    if relation is LabelRelation.STRING_EQUAL:
         return True
-    if level >= ConsistencyLevel.EQUALITY and comparator.equal(a, b):
-        return True
-    if level >= ConsistencyLevel.SYNONYMY and comparator.synonym(a, b):
-        return True
+    if relation is LabelRelation.EQUAL:
+        return level >= ConsistencyLevel.EQUALITY
+    if relation is LabelRelation.SYNONYM:
+        return level >= ConsistencyLevel.SYNONYMY
     return False
 
 
@@ -68,9 +103,36 @@ def tuples_consistent(
     level: ConsistencyLevel,
     comparator: SemanticComparator,
     clusters: tuple[str, ...] | None = None,
+    cache: ConsistencyPairCache | None = None,
 ) -> bool:
     """Definition 2: rows ``s`` and ``t`` are consistent at ``level`` when
-    some cluster (of ``clusters``, default all) carries witnessing labels."""
+    some cluster (of ``clusters``, default all) carries witnessing labels.
+
+    With a ``cache`` (scoped to one naming run by ``name_group``), each
+    distinct row pair is decided once per level and column restriction.
+    """
+    if cache is not None:
+        key = (level, clusters, s.clusters, s.labels, t.clusters, t.labels)
+        cached = cache.entries.get(key)
+        if cached is not None:
+            cache.counter.hit()
+            return cached
+        cache.counter.miss()
+    result = _tuples_consistent_uncached(s, t, level, comparator, clusters)
+    if cache is not None:
+        cache.entries[key] = result
+        # Consistency is symmetric in s and t: store the mirror entry too.
+        cache.entries[(level, clusters, t.clusters, t.labels, s.clusters, s.labels)] = result
+    return result
+
+
+def _tuples_consistent_uncached(
+    s: GroupTuple,
+    t: GroupTuple,
+    level: ConsistencyLevel,
+    comparator: SemanticComparator,
+    clusters: tuple[str, ...] | None,
+) -> bool:
     columns = clusters if clusters is not None else s.clusters
     for cluster in columns:
         a = s.label_for(cluster)
@@ -125,6 +187,7 @@ def find_partitions(
     level: ConsistencyLevel,
     comparator: SemanticComparator,
     clusters: tuple[str, ...] | None = None,
+    cache: ConsistencyPairCache | None = None,
 ) -> list[Partition]:
     """All maximal partitions of the relation's rows at ``level``.
 
@@ -148,7 +211,7 @@ def find_partitions(
 
     for i in range(n):
         for j in range(i + 1, n):
-            if tuples_consistent(rows[i], rows[j], level, comparator, clusters):
+            if tuples_consistent(rows[i], rows[j], level, comparator, clusters, cache):
                 union(i, j)
 
     components: dict[int, list[GroupTuple]] = {}
@@ -161,13 +224,14 @@ def covering_partitions(
     relation: GroupRelation,
     level: ConsistencyLevel,
     comparator: SemanticComparator,
+    cache: ConsistencyPairCache | None = None,
 ) -> tuple[list[Partition], list[Partition]]:
     """(all partitions, those covering every cluster of the group).
 
     The second component being non-empty is exactly Proposition 1's
     condition for a consistent naming solution to exist at ``level``.
     """
-    partitions = find_partitions(relation, level, comparator)
+    partitions = find_partitions(relation, level, comparator, cache=cache)
     covering = [p for p in partitions if p.covers(relation.clusters)]
     return partitions, covering
 
@@ -177,6 +241,7 @@ def combine_closure(
     level: ConsistencyLevel,
     comparator: SemanticComparator,
     limit: int = CLOSURE_LIMIT,
+    cache: ConsistencyPairCache | None = None,
 ) -> list[GroupTuple]:
     """Combine* (Definition 3 generalized): all tuples derivable by
     repeatedly combining consistent pairs, duplicates (by label values)
@@ -198,7 +263,7 @@ def combine_closure(
         next_frontier: list[GroupTuple] = []
         for current in frontier:
             for original in tuples:
-                if not tuples_consistent(current, original, level, comparator):
+                if not tuples_consistent(current, original, level, comparator, cache=cache):
                     continue
                 for merged in (combine(current, original), combine(original, current)):
                     if merged.key() not in seen:
@@ -212,7 +277,9 @@ def combine_closure(
 
 
 def _spanning_tree_merge(
-    partition: Partition, comparator: SemanticComparator
+    partition: Partition,
+    comparator: SemanticComparator,
+    cache: ConsistencyPairCache | None = None,
 ) -> GroupTuple:
     """Linear-time solution: Combine along a spanning tree of the component.
 
@@ -226,7 +293,7 @@ def _spanning_tree_merge(
         # Pick a neighbor consistent with some already-merged original row —
         # the component is connected, so one always exists.
         for candidate in remaining:
-            if tuples_consistent(merged, candidate, partition.level, comparator):
+            if tuples_consistent(merged, candidate, partition.level, comparator, cache=cache):
                 merged = combine(merged, candidate)
                 remaining.remove(candidate)
                 break
@@ -243,6 +310,7 @@ def solutions_of_partition(
     clusters: tuple[str, ...],
     comparator: SemanticComparator,
     limit: int = CLOSURE_LIMIT,
+    cache: ConsistencyPairCache | None = None,
 ) -> list[GroupTuple]:
     """Tuple-solutions (Definition 4) for ``clusters`` from ``partition``.
 
@@ -255,7 +323,7 @@ def solutions_of_partition(
     projected = [t for t in projected if t.non_null_count() > 0]
     if not projected:
         return []
-    closure = combine_closure(projected, partition.level, comparator, limit)
+    closure = combine_closure(projected, partition.level, comparator, limit, cache)
     complete = [t for t in closure if t.is_complete()]
     if complete:
         return complete
@@ -264,7 +332,7 @@ def solutions_of_partition(
         covered.update(t.non_null_clusters())
     if frozenset(clusters) <= covered:
         merged = _spanning_tree_merge(
-            Partition(tuples=projected, level=partition.level), comparator
+            Partition(tuples=projected, level=partition.level), comparator, cache
         )
         if merged.is_complete():
             return [merged]

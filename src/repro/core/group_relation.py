@@ -15,6 +15,7 @@ discarded (Section 4.1.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from ..schema.clusters import Mapping
 from ..schema.groups import Group
@@ -34,8 +35,12 @@ class GroupTuple:
         if len(self.labels) != len(self.clusters):
             raise ValueError("labels/clusters arity mismatch")
 
+    @cached_property
+    def _column_index(self) -> dict[str, int]:
+        return {cluster: i for i, cluster in enumerate(self.clusters)}
+
     def label_for(self, cluster: str) -> str | None:
-        return self.labels[self.clusters.index(cluster)]
+        return self.labels[self._column_index[cluster]]
 
     def non_null_clusters(self) -> frozenset[str]:
         """The set of clusters this tuple supplies a label for — the second

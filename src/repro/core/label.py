@@ -7,19 +7,50 @@ step each field will be represented by a set of content words of its label."
 A :class:`Label` bundles the raw text, the step-1 display form, and the
 step-2 content-word tokens.  Labels are produced (and cached) by a
 :class:`LabelAnalyzer`, which carries the lexicon used for base forms.
+
+Interning
+---------
+Every Definition-1 predicate is fully determined by a label's case-folded
+display form plus its conjunction flag: string equality compares the display
+form, and the token sequence (hence stems and lemmas) is computed from the
+display form alone (`content_tokens` tokenizes the step-1 form, which is
+pure ASCII alphanumerics and spaces).  The analyzer therefore *interns*
+labels on that canonical identity: distinct raw texts that normalize alike
+(``"Day/Time"`` and ``"Day & Time"`` both display as ``"Day Time"`` with the
+conjunction flag set) share one token tuple and one intern :attr:`Label.key`.
+The :class:`~repro.core.semantics.SemanticComparator` keys its pairwise
+relation cache on those intern keys, so each distinct display string is
+analyzed — and each distinct pair compared — once per comparator lifetime.
+
+Intern keys are drawn from a process-wide counter, so keys from different
+analyzers never collide; a key is only ever reused for a label that is
+interchangeable in every comparison.  When the underlying lexicon mutates
+(:attr:`MiniWordNet.version` bumps), all analyses are stale — lemmas came
+from the old vocabulary — so the analyzer drops everything and re-interns.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
+from dataclasses import dataclass, field
+from functools import cached_property
 
 from ..lexicon.normalize import Token, content_tokens, display_form
 from ..lexicon.wordnet import MiniWordNet
+from ..perf import CacheCounter
 
 __all__ = ["Label", "LabelAnalyzer"]
 
 _CONJUNCTION_MARKERS = ("&", "/")
 _CONJUNCTION_WORDS = frozenset({"and", "or"})
+
+
+def _detect_conjunction(raw: str) -> bool:
+    """True when ``raw`` contains and/&, or// (Definition 1's restriction)."""
+    lowered = raw.lower()
+    if any(marker in lowered for marker in _CONJUNCTION_MARKERS):
+        return True
+    return any(word in _CONJUNCTION_WORDS for word in lowered.split())
 
 
 @dataclass(frozen=True)
@@ -34,14 +65,20 @@ class Label:
         step-2 content words, in label order, deduplicated by stem;
     ``stems``
         the frozen set of token stems — the "set of content words"
-        representation of Definition 1.
+        representation of Definition 1;
+    ``key``
+        the analyzer's intern id: labels with equal keys are
+        interchangeable in every Definition-1 comparison.  ``-1`` marks a
+        label built outside an analyzer (never interned, never cached by
+        key).
     """
 
     raw: str
     display: str
     tokens: tuple[Token, ...]
+    key: int = field(default=-1, compare=False)
 
-    @property
+    @cached_property
     def stems(self) -> frozenset[str]:
         return frozenset(token.stem for token in self.tokens)
 
@@ -50,7 +87,7 @@ class Label:
         """The *expressiveness* contribution of this label (Section 4.2.1)."""
         return len(self.tokens)
 
-    @property
+    @cached_property
     def has_conjunction(self) -> bool:
         """True when the label contains and/&, or//.
 
@@ -58,10 +95,7 @@ class Label:
         without conjunctions ("We assume A and B do not contain and (&),
         or (/)").
         """
-        lowered = self.raw.lower()
-        if any(marker in lowered for marker in _CONJUNCTION_MARKERS):
-            return True
-        return any(word in _CONJUNCTION_WORDS for word in lowered.split())
+        return _detect_conjunction(self.raw)
 
     def __str__(self) -> str:
         return self.raw
@@ -71,11 +105,28 @@ class Label:
 
 
 class LabelAnalyzer:
-    """Builds and caches :class:`Label` objects against one lexicon.
+    """Builds, caches and interns :class:`Label` objects against one lexicon.
 
     All Definition-1 comparisons in :mod:`repro.core.semantics` require both
     labels to come from the same analyzer so token lemmas agree.
+
+    Three caches stack here, cheapest first:
+
+    * ``raw text -> Label`` — repeat analyses of the same string are one
+      dict hit;
+    * ``case-folded display -> tokens`` — distinct raw texts with the same
+      step-1 form ("Price $", "Price!") share the expensive step-2
+      morphy/stem work;
+    * the intern table — canonical identity ``(display casefold,
+      conjunction flag)`` to a process-unique :attr:`Label.key`, the cache
+      key downstream relation caches use.
+
+    All three are dropped when the lexicon's mutation stamp moves, since
+    token lemmas are validated against its vocabulary.
     """
+
+    #: Process-wide id source: keys never collide across analyzers.
+    _intern_ids = itertools.count()
 
     def __init__(self, wordnet: MiniWordNet | None = None) -> None:
         if wordnet is None:
@@ -84,19 +135,55 @@ class LabelAnalyzer:
             wordnet = default_wordnet()
         self.wordnet = wordnet
         self._cache: dict[str, Label] = {}
+        self._tokens_by_display: dict[str, tuple[Token, ...]] = {}
+        self._intern: dict[tuple[str, bool], int] = {}
+        self._lexicon_version = wordnet.version
+        self.counter = CacheCounter("labels")
 
     def label(self, text: str) -> Label:
-        """Analyze ``text`` (cached)."""
+        """Analyze ``text`` (cached and interned)."""
+        if self.wordnet.version != self._lexicon_version:
+            self.invalidate()
         cached = self._cache.get(text)
         if cached is not None:
+            self.counter.hit()
             return cached
-        analyzed = Label(
-            raw=text,
-            display=display_form(text),
-            tokens=content_tokens(text, self.wordnet),
-        )
+        self.counter.miss()
+        display = display_form(text)
+        display_key = display.casefold()
+        tokens = self._tokens_by_display.get(display_key)
+        if tokens is None:
+            tokens = content_tokens(text, self.wordnet)
+            self._tokens_by_display[display_key] = tokens
+        canonical = (display_key, _detect_conjunction(text))
+        key = self._intern.get(canonical)
+        if key is None:
+            key = next(LabelAnalyzer._intern_ids)
+            self._intern[canonical] = key
+        analyzed = Label(raw=text, display=display, tokens=tokens, key=key)
         self._cache[text] = analyzed
         return analyzed
+
+    def invalidate(self) -> None:
+        """Forget every analysis — the lexicon changed underneath us.
+
+        Fresh intern keys are handed out afterwards (the id counter never
+        rewinds), so relation caches keyed on old ids can never serve a
+        stale answer for a re-analyzed label.
+        """
+        self._cache.clear()
+        self._tokens_by_display.clear()
+        self._intern.clear()
+        self._lexicon_version = self.wordnet.version
+
+    def cache_stats(self) -> dict:
+        """JSON-ready cache counters (part of the perf cache hierarchy)."""
+        return {
+            **self.counter.snapshot(),
+            "size": len(self._cache),
+            "distinct_displays": len(self._tokens_by_display),
+            "interned": len(self._intern),
+        }
 
     def __call__(self, text: str) -> Label:
         return self.label(text)

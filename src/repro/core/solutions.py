@@ -24,13 +24,14 @@ from dataclasses import dataclass, field
 from ..schema.groups import Group
 from .consistency import (
     ConsistencyLevel,
+    ConsistencyPairCache,
     Partition,
     find_partitions,
     solutions_of_partition,
 )
 from .group_relation import GroupRelation, GroupTuple
 from .label import LabelAnalyzer
-from .semantics import SemanticComparator
+from .semantics import GROUP_CACHE_LIMIT, SemanticComparator
 
 __all__ = ["GroupSolution", "GroupNamingResult", "rank_tuple_solutions", "name_group"]
 
@@ -148,13 +149,16 @@ def _solutions_at_level(
     level: ConsistencyLevel,
     comparator: SemanticComparator,
     analyzer: LabelAnalyzer,
+    cache: ConsistencyPairCache | None = None,
 ) -> list[GroupSolution]:
     """All ranked solutions from covering partitions at ``level`` (or [])."""
-    partitions = find_partitions(relation, level, comparator)
+    partitions = find_partitions(relation, level, comparator, cache=cache)
     covering = [p for p in partitions if p.covers(labelable)]
     solutions: list[GroupSolution] = []
     for partition in covering:
-        tuple_solutions = solutions_of_partition(partition, labelable, comparator)
+        tuple_solutions = solutions_of_partition(
+            partition, labelable, comparator, cache=cache
+        )
         for t, expr, freq, is_cand in rank_tuple_solutions(
             tuple_solutions, relation, analyzer
         ):
@@ -180,6 +184,7 @@ def _best_partition_solution(
     relation: GroupRelation,
     comparator: SemanticComparator,
     analyzer: LabelAnalyzer,
+    cache: ConsistencyPairCache | None = None,
 ) -> GroupTuple | None:
     """Best tuple-solution of ``partition`` over the clusters it covers."""
     covered = tuple(
@@ -187,7 +192,9 @@ def _best_partition_solution(
     )
     if not covered:
         return None
-    tuple_solutions = solutions_of_partition(partition, covered, comparator)
+    tuple_solutions = solutions_of_partition(
+        partition, covered, comparator, cache=cache
+    )
     if not tuple_solutions:
         return None
     ranked = rank_tuple_solutions(tuple_solutions, relation, analyzer)
@@ -203,12 +210,17 @@ def _partially_consistent(
     relation: GroupRelation,
     comparator: SemanticComparator,
     analyzer: LabelAnalyzer,
+    cache: ConsistencyPairCache | None = None,
 ) -> GroupSolution:
     """Greedy concatenation of per-partition solutions (Section 4.2.2)."""
-    partitions = find_partitions(relation, ConsistencyLevel.SYNONYMY, comparator)
+    partitions = find_partitions(
+        relation, ConsistencyLevel.SYNONYMY, comparator, cache=cache
+    )
     per_partition: list[GroupTuple] = []
     for partition in partitions:
-        best = _best_partition_solution(partition, relation, comparator, analyzer)
+        best = _best_partition_solution(
+            partition, relation, comparator, analyzer, cache
+        )
         if best is not None:
             per_partition.append(best)
     per_partition.sort(
@@ -236,6 +248,56 @@ def _partially_consistent(
     )
 
 
+def _relation_fingerprint(
+    relation: GroupRelation, max_level: ConsistencyLevel
+) -> tuple:
+    """Everything ``name_group``'s output depends on besides the lexicon.
+
+    The group's identity (name, kind, clusters) plus the relation's rows in
+    order, plus the ladder truncation.  Two relations with equal
+    fingerprints produce equal naming results under the same lexicon
+    version, which is what makes the comparator's group-result memo sound.
+    """
+    group = relation.group
+    return (
+        group.name,
+        group.kind,
+        group.clusters,
+        relation.clusters,
+        tuple((t.interface, t.labels) for t in relation.tuples),
+        max_level,
+    )
+
+
+def _copy_group_result(result: GroupNamingResult) -> GroupNamingResult:
+    """A mutation-safe copy of a naming result.
+
+    Downstream phases mutate exactly one thing: homonym repair rewrites the
+    chosen solution's ``labels`` dict in place.  Fresh ``GroupSolution``
+    shells with copied label dicts protect the memoised master; partitions
+    and the relation are read-only after construction and stay shared.
+    """
+    solutions = [
+        GroupSolution(
+            group=s.group,
+            labels=dict(s.labels),
+            level=s.level,
+            partition=s.partition,
+            expressiveness=s.expressiveness,
+            frequency=s.frequency,
+            is_candidate=s.is_candidate,
+        )
+        for s in result.solutions
+    ]
+    return GroupNamingResult(
+        group=result.group,
+        relation=result.relation,
+        solutions=solutions,
+        consistent=result.consistent,
+        level=result.level,
+    )
+
+
 def name_group(
     relation: GroupRelation,
     comparator: SemanticComparator,
@@ -246,8 +308,49 @@ def name_group(
 
     ``max_level`` exists for the ablation experiments (truncating the ladder
     at STRING or EQUALITY); the paper's algorithm uses the full ladder.
+
+    Results are memoised on the comparator keyed by the relation's content
+    fingerprint: repeated labeling of the same domain (the service's steady
+    state) skips the whole ladder/closure computation.  The memo follows
+    the comparator's lexicon-version discipline and only engages when the
+    ranking analyzer is the comparator's own (a foreign analyzer could rank
+    expressiveness differently).
     """
-    analyzer = analyzer or comparator.analyzer
+    memo = None
+    if analyzer is None or analyzer is comparator.analyzer:
+        comparator._check_lexicon_version()
+        memo = comparator._group_cache
+        fingerprint = _relation_fingerprint(relation, max_level)
+        cached = memo.get(fingerprint)
+        if cached is not None:
+            comparator.group_counter.hit()
+            return _copy_group_result(cached)
+        comparator.group_counter.miss()
+
+    result = _name_group_uncached(
+        relation, comparator, analyzer or comparator.analyzer, max_level
+    )
+    if memo is not None:
+        if len(memo) >= GROUP_CACHE_LIMIT:
+            comparator.group_counter.evict(len(memo))
+            memo.clear()
+        # Store a pristine copy: the caller's copy is theirs to mutate
+        # (homonym repair rewrites the chosen solution's labels in place).
+        memo[fingerprint] = _copy_group_result(result)
+    return result
+
+
+def _name_group_uncached(
+    relation: GroupRelation,
+    comparator: SemanticComparator,
+    analyzer: LabelAnalyzer,
+    max_level: ConsistencyLevel,
+) -> GroupNamingResult:
+    # One pair cache per naming run: every Definition-2 row-pair decision in
+    # this group — across ladder levels, closure rounds and the partial
+    # fallback — is made at most once.  Hit/miss counts roll up into the
+    # comparator's ``consistency_pairs`` stats.
+    cache = ConsistencyPairCache(counter=comparator.pair_counter)
     result = GroupNamingResult(group=relation.group, relation=relation)
 
     if not relation.tuples:
@@ -268,7 +371,7 @@ def name_group(
             if level > max_level:
                 break
             solutions = _solutions_at_level(
-                relation, labelable, level, comparator, analyzer
+                relation, labelable, level, comparator, analyzer, cache
             )
             if solutions:
                 result.solutions = solutions
@@ -276,6 +379,8 @@ def name_group(
                 result.level = level
                 return result
 
-    result.solutions = [_partially_consistent(relation, comparator, analyzer)]
+    result.solutions = [
+        _partially_consistent(relation, comparator, analyzer, cache)
+    ]
     result.consistent = False
     return result

@@ -25,6 +25,7 @@ cache, counters) is lock-guarded, so one engine instance safely serves the
 from __future__ import annotations
 
 import copy
+import json
 import threading
 import time
 from collections.abc import Callable, Sequence
@@ -34,6 +35,7 @@ from dataclasses import dataclass, field
 
 from ..core.pipeline import NamingOptions, label_corpus
 from ..core.semantics import SemanticComparator
+from ..perf import aggregate_stats
 from ..schema.clusters import Mapping
 from ..schema.interface import QueryInterface
 from ..schema.serialize import (
@@ -241,6 +243,10 @@ def _lint_findings_to_dicts(findings) -> list[dict]:
 class LabelingEngine:
     """Validate, cache and execute labeling requests, singly or in batches."""
 
+    #: How many lexicon-overlay comparators to keep warm; overlays beyond
+    #: this evict the least recently used one (its caches go with it).
+    OVERLAY_COMPARATORS = 8
+
     def __init__(self, cache_size: int = 128, jobs: int = 1) -> None:
         self.cache = LRUCache(capacity=cache_size)
         self.default_jobs = max(1, int(jobs))
@@ -249,6 +255,12 @@ class LabelingEngine:
         self._requests = 0
         self._errors = 0
         self._started = time.time()
+        # Comparator registry: every comparator this engine ever built, so
+        # stats() can aggregate their cache counters into one /metrics
+        # section.  Overlay comparators are shared across requests (and
+        # batch items) with the same overlay, keyed by its canonical JSON.
+        self._comparators: list[SemanticComparator] = []
+        self._overlay_comparators: dict[str, SemanticComparator] = {}
 
     # ------------------------------------------------------------------
     # Single requests.
@@ -353,18 +365,48 @@ class LabelingEngine:
         )
 
     def _comparator_for(self, request: LabelingRequest) -> SemanticComparator:
-        """A comparator for this request: fresh for overlays, per-thread otherwise."""
+        """A comparator for this request: shared per overlay, else per-thread.
+
+        Requests (and batch items) carrying the same lexicon overlay share
+        one comparator — and therefore its label/relation/group caches —
+        instead of rebuilding the lexicon and re-deriving every comparison
+        per item.  The comparator's memos are safe under concurrent use
+        (append-only maps of deterministic values), so one instance can
+        serve parallel batch workers.
+        """
         if request.lexicon is not None:
+            key = json.dumps(
+                request.lexicon, sort_keys=True, separators=(",", ":"), default=str
+            )
+            with self._lock:
+                comparator = self._overlay_comparators.get(key)
+                if comparator is not None:
+                    # Refresh LRU position.
+                    self._overlay_comparators[key] = self._overlay_comparators.pop(key)
+                    return comparator
             from ..core.label import LabelAnalyzer
             from ..lexicon.io import wordnet_from_dict
 
-            return SemanticComparator(
+            comparator = SemanticComparator(
                 LabelAnalyzer(wordnet_from_dict(request.lexicon))
             )
+            with self._lock:
+                existing = self._overlay_comparators.get(key)
+                if existing is not None:  # lost a build race: share the winner
+                    return existing
+                while len(self._overlay_comparators) >= self.OVERLAY_COMPARATORS:
+                    evicted_key = next(iter(self._overlay_comparators))
+                    evicted = self._overlay_comparators.pop(evicted_key)
+                    self._comparators.remove(evicted)
+                self._overlay_comparators[key] = comparator
+                self._comparators.append(comparator)
+            return comparator
         comparator = getattr(self._local, "comparator", None)
         if comparator is None:
             comparator = SemanticComparator()
             self._local.comparator = comparator
+            with self._lock:
+                self._comparators.append(comparator)
         return comparator
 
     # ------------------------------------------------------------------
@@ -410,12 +452,18 @@ class LabelingEngine:
         """Engine counters + cache stats (embedded in ``GET /metrics``)."""
         with self._lock:
             requests, errors = self._requests, self._errors
+            comparators = list(self._comparators)
+            overlays = len(self._overlay_comparators)
+        semantics = aggregate_stats([c.cache_stats() for c in comparators])
+        semantics["comparators"] = len(comparators)
+        semantics["overlay_comparators"] = overlays
         return {
             "requests": requests,
             "errors": errors,
             "uptime_s": round(time.time() - self._started, 3),
             "default_jobs": self.default_jobs,
             "cache": self.cache.stats().to_dict(),
+            "semantics": semantics,
         }
 
     def close(self) -> None:
