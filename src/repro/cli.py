@@ -11,6 +11,7 @@
     python -m repro serve --port 8080      # the HTTP labeling service
     python -m repro batch a.json b.json --jobs 4
     python -m repro profile -o BENCH_perf.json
+    python -m repro chaos --plans 10 --rate 0.1   # seeded fault sweep
 
 Every command accepts ``--seed`` where a corpus is generated.
 """
@@ -112,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="LRU result-cache capacity (0 disables caching)")
     serve.add_argument("--jobs", type=int, default=4,
                        help="default batch concurrency for POST /batch")
+    serve.add_argument("--max-concurrent", type=int, default=8,
+                       help="admission cap: concurrent requests in flight")
+    serve.add_argument("--max-queue", type=int, default=32,
+                       help="admission queue depth; beyond it requests are "
+                            "shed with HTTP 429")
     serve.add_argument("--verbose", action="store_true",
                        help="log one line per HTTP request")
 
@@ -139,6 +145,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the report as JSON (BENCH_perf.json)")
     profile.add_argument("--json", action="store_true",
                          help="print the JSON report instead of the summary")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="sweep seeded fault plans through the service stack "
+             "(fault injection + retry/breaker verification)",
+    )
+    chaos.add_argument("--plans", type=int, default=10,
+                       help="how many seeded fault plans to run")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="base seed; plan i uses seed+i")
+    chaos.add_argument("--rate", type=float, default=0.1,
+                       help="per-item fault probability at each injection point")
+    chaos.add_argument("--jobs", type=int, default=2,
+                       help="batch concurrency per plan")
+    chaos.add_argument("--domains", nargs="+", default=None,
+                       choices=sorted(DOMAINS),
+                       help="seed domains per plan (default: all)")
+    chaos.add_argument("-o", "--out", type=Path, default=None,
+                       help="also write the full JSON report")
 
     return parser
 
@@ -340,10 +365,14 @@ def _cmd_serve(args) -> int:
         cache_size=args.cache_size,
         jobs=args.jobs,
         quiet=not args.verbose,
+        max_concurrent=args.max_concurrent,
+        max_queue=args.max_queue,
     )
     print(f"repro labeling service on {server.url}")
     print("  POST /label   POST /batch   GET /healthz   GET /metrics")
     print(f"  cache capacity {args.cache_size}, default batch jobs {args.jobs}")
+    print(f"  admission: {args.max_concurrent} concurrent, "
+          f"queue {args.max_queue} (429 beyond)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -456,6 +485,43 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .testing.chaos import run_chaos_sweep
+
+    comparator = SemanticComparator()
+    report = run_chaos_sweep(
+        plans=args.plans,
+        seed=args.seed,
+        rate=args.rate,
+        jobs=args.jobs,
+        domains=args.domains,
+        comparator=comparator,
+    )
+    print(
+        f"chaos sweep: {report['plans']} plans x {report['items_per_plan']} "
+        f"items (rate {args.rate:g}, jobs {args.jobs})"
+    )
+    print(
+        f"  ok {report['ok_items']} | failed {report['failed_items']} | "
+        f"recovered {report['recovered_items']} | "
+        f"byte-identical {report['identical_items']} | "
+        f"injected faults {report['injected_faults']}"
+    )
+    if report["anomalies"]:
+        print(f"  {len(report['anomalies'])} ANOMALY(IES):")
+        for anomaly in report["anomalies"][:20]:
+            print(
+                f"    [{anomaly['plan']}#{anomaly['item']}] "
+                f"{anomaly['kind']}: {anomaly['message']}"
+            )
+    else:
+        print("  degradation contract held for every plan")
+    if args.out is not None:
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 1 if report["anomalies"] else 0
+
+
 _COMMANDS = {
     "table6": _cmd_table6,
     "figure10": _cmd_figure10,
@@ -470,6 +536,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "batch": _cmd_batch,
     "profile": _cmd_profile,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..resilience.faults import maybe_inject
 from ..schema.clusters import Mapping
 from ..schema.groups import Group, GroupKind, partition_clusters
 from ..schema.interface import QueryInterface
@@ -63,6 +64,7 @@ def label_integrated_interface(
     analyzer = comparator.analyzer
     log = InferenceLog(keep_events=options.keep_inference_events)
 
+    maybe_inject("pipeline.phase1", wordnet=comparator.wordnet)
     partition = partition_clusters(integrated_root)
     result = LabelingResult(
         root=integrated_root, partition=partition, inference_log=log
@@ -125,6 +127,7 @@ def label_integrated_interface(
     # ------------------------------------------------------------------
     # Phases 2+3: assign labels top-down, narrowing group solutions.
     # ------------------------------------------------------------------
+    maybe_inject("pipeline.phase3", wordnet=comparator.wordnet)
     allowed: dict[str, list[GroupSolution]] = {
         name: list(res.solutions) for name, res in result.group_results.items()
     }
@@ -189,6 +192,7 @@ def label_corpus(
     # algorithm and must not become an import-time dependency of repro.core.
     from ..merge.merger import merge_interfaces
 
+    maybe_inject("pipeline.merge")
     mapping.expand_one_to_many(interfaces)
     root = merge_interfaces(interfaces, mapping)
     result = label_integrated_interface(

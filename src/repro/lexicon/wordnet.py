@@ -42,6 +42,7 @@ from collections import defaultdict, deque
 from dataclasses import dataclass, field
 
 from ..perf import CacheCounter
+from ..resilience.faults import maybe_inject
 from .morphology import base_form
 
 __all__ = ["Synset", "MiniWordNet"]
@@ -178,6 +179,7 @@ class MiniWordNet:
             self._base_counter.hit()
             return cached
         self._base_counter.miss()
+        maybe_inject("lexicon.query")
         result = base_form(token, self.is_known)
         if len(self._base_cache) >= MEMO_LIMIT:
             self._base_counter.evict(len(self._base_cache))

@@ -1,0 +1,63 @@
+"""Bounded retry with exponential backoff and deterministic jitter.
+
+Transient failures (injected faults, flaky I/O) clear on retry; systematic
+ones (bad corpora, algorithmic bugs) do not.  The policy therefore retries
+only exception types listed in ``retry_on`` — everything else propagates
+immediately, so a deterministic pipeline error is never retried three
+times for nothing.
+
+Jitter is deterministic: the fractional wobble for attempt *n* of key *k*
+is a hash of ``(k, n)``, not a ``random`` draw.  Retried timing is thus
+reproducible under a fixed plan, while distinct keys still de-synchronise
+(the thundering-herd property jitter exists for).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from .faults import TransientFault, _uniform
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget + backoff curve for transient per-item failures."""
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.02
+    multiplier: float = 2.0
+    max_delay_s: float = 0.5
+    jitter: float = 0.25          # +/- fraction of the nominal delay
+    retry_on: tuple[type[BaseException], ...] = (TransientFault, ConnectionError)
+
+    def delay_for(self, attempt: int, key: str = "") -> float:
+        """Backoff before retry number ``attempt`` (1-based), jittered."""
+        nominal = min(
+            self.base_delay_s * self.multiplier ** max(0, attempt - 1),
+            self.max_delay_s,
+        )
+        if self.jitter <= 0:
+            return nominal
+        frac = _uniform("retry", key, attempt) / float(2**64)  # [0, 1)
+        return nominal * (1.0 - self.jitter + 2.0 * self.jitter * frac)
+
+    def call(self, fn, key: str = "", sleep=time.sleep):
+        """Run ``fn`` with retries; returns ``(value, attempts)``.
+
+        A retryable exception that survives ``max_attempts`` is re-raised
+        with ``retry_attempts`` set on it, so callers can report how hard
+        the policy tried.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn(), attempt
+            except self.retry_on as exc:
+                if attempt >= self.max_attempts:
+                    exc.retry_attempts = attempt
+                    raise
+                sleep(self.delay_for(attempt, key))

@@ -7,14 +7,19 @@ workload needs:
 
 ``fingerprint``  stable content hashes of (corpus, lexicon overlay,
                  naming options) — the cache key;
-``cache``        a thread-safe LRU result cache with hit/miss/eviction
-                 counters;
+``cache``        a thread-safe LRU result cache; :class:`ResultCache`
+                 adds per-entry checksums so a corrupted entry is evicted
+                 and recomputed, never served;
 ``engine``       :class:`LabelingEngine` — request validation, cache
-                 consultation, pipeline execution, and a batch executor
-                 with per-item timeout and error isolation;
+                 consultation, pipeline execution, a batch executor with
+                 per-item timeout and error isolation, plus the resilience
+                 stack (retry, per-corpus circuit breaker, fault-plan
+                 scope, strict oracle verification);
 ``server``       a stdlib-only HTTP JSON API (``POST /label``,
-                 ``POST /batch``, ``GET /healthz``, ``GET /metrics``);
-``client``       a urllib client for tests, examples and benchmarks.
+                 ``POST /batch``, ``GET /healthz``, ``GET /metrics``)
+                 behind a bounded admission queue (429 + ``Retry-After``
+                 on overload);
+``client``       a urllib client that honors the service's backpressure.
 
 Start a server with ``python -m repro serve`` or in-process::
 
@@ -25,7 +30,7 @@ Start a server with ``python -m repro serve`` or in-process::
         print(client.label(domain="airline")["classification"])
 """
 
-from .cache import CacheStats, LRUCache
+from .cache import CacheStats, LRUCache, ResultCache
 from .client import ServiceClient, ServiceError
 from .engine import (
     BatchOutcome,
@@ -46,6 +51,7 @@ __all__ = [
     "LabelingServer",
     "MetricsRegistry",
     "RequestError",
+    "ResultCache",
     "ServiceClient",
     "ServiceError",
     "corpus_fingerprint",

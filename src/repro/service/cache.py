@@ -7,17 +7,28 @@ guarded by a lock: correct under the ``ThreadingHTTPServer``/executor
 concurrency the service runs with, and cheap enough that a hit costs
 microseconds against the pipeline's tens of milliseconds.
 
-Counters (hits / misses / evictions) are part of the public contract —
-``GET /metrics`` reports them, and operators size ``capacity`` from them.
+:class:`ResultCache` layers integrity on top: every stored response is
+checksummed (CRC-32 over its canonical JSON) at put time and re-verified
+at get time.  An entry whose bytes no longer match — a chaos ``corrupt``
+fault, or real memory/serialization rot — is *evicted and reported as a
+miss*, so the engine recomputes instead of serving a silently wrong
+labeling.  The pipeline being deterministic makes that recovery exact.
+
+Counters (hits / misses / evictions / corruptions) are part of the public
+contract — ``GET /metrics`` reports them, and operators size ``capacity``
+(and alarm on ``corruptions``) from them.
 """
 
 from __future__ import annotations
 
+import copy
+import json
 import threading
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 
-__all__ = ["CacheStats", "LRUCache"]
+__all__ = ["CacheStats", "LRUCache", "ResultCache"]
 
 
 @dataclass(frozen=True)
@@ -29,6 +40,7 @@ class CacheStats:
     evictions: int
     size: int
     capacity: int
+    corruptions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -42,6 +54,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "corruptions": self.corruptions,
             "size": self.size,
             "capacity": self.capacity,
             "hit_rate": round(self.hit_rate, 4),
@@ -108,4 +121,90 @@ class LRUCache:
                 evictions=self._evictions,
                 size=len(self._entries),
                 capacity=self.capacity,
+            )
+
+
+def _checksum(value) -> int:
+    """CRC-32 over the value's canonical JSON — the integrity fingerprint.
+
+    Responses are JSON-ready dicts by construction, so canonical JSON is a
+    faithful byte image; CRC-32 is plenty against the accidental/injected
+    corruption this guards (it is not a cryptographic seal).
+    """
+    canonical = json.dumps(
+        value, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+class ResultCache(LRUCache):
+    """An :class:`LRUCache` whose entries carry an integrity checksum.
+
+    ``put`` stores ``(value, crc)``; ``get`` recomputes the CRC and treats
+    a mismatch as *eviction + miss* — a corrupted labeling is never served.
+    The ``corrupt`` method flips a stored entry in place; it exists for the
+    chaos plan's ``cache.get``/``corrupt`` faults and the integrity tests,
+    which use it to prove the read path catches exactly this.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        super().__init__(capacity=capacity)
+        self._corruptions = 0
+
+    def get(self, key: str):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            value, crc = entry
+            if _checksum(value) != crc:
+                # Integrity failure: drop the entry, report a miss — the
+                # caller recomputes and the deterministic pipeline restores
+                # the exact result the corrupted entry used to hold.
+                del self._entries[key]
+                self._corruptions += 1
+                self._misses += 1
+                return None
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return value
+
+    def put(self, key: str, value) -> None:
+        super().put(key, (value, _checksum(value)))
+
+    def corrupt(self, key: str) -> bool:
+        """Tamper with the stored entry for ``key`` (chaos/test hook).
+
+        Flips the cached value without refreshing its checksum, exactly
+        like bit rot would; returns whether an entry existed to corrupt.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            value, crc = entry
+            tampered = copy.deepcopy(value)
+            if isinstance(tampered, dict):
+                tampered["fingerprint"] = "corrupted-" + str(
+                    tampered.get("fingerprint", "")
+                )
+                if isinstance(tampered.get("field_labels"), dict):
+                    for cluster in tampered["field_labels"]:
+                        tampered["field_labels"][cluster] = "CORRUPTED"
+                        break
+            else:
+                tampered = ("corrupted", tampered)
+            self._entries[key] = (tampered, crc)
+            return True
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+                corruptions=self._corruptions,
             )

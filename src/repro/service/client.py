@@ -2,14 +2,24 @@
 
 Used by the tests, the examples and the benchmark to exercise the real
 HTTP surface; also a reasonable starting point for callers in other
-processes.  Every method returns the decoded JSON payload; non-2xx
-responses raise :class:`ServiceError` carrying the status code and the
-server's error payload.
+processes.  Every method returns the decoded JSON payload; failures raise
+:class:`ServiceError` carrying the HTTP status (``0`` when no response
+arrived at all — connection refused, DNS failure, a non-JSON body) and the
+server's error payload when there was one.
+
+The client cooperates with the service's backpressure: an HTTP 429
+(admission shed) or 503 (open circuit breaker / transient exhaustion)
+response is retried up to ``retries`` times, sleeping whatever
+``retry_after`` the response names (payload field or ``Retry-After``
+header, capped at ``max_backoff_s``).  Connection-level failures retry on
+a fixed ``backoff_s`` — the server may simply not be up yet.  Everything
+else (400, 404, 500, 504) is not retried: those are answers.
 """
 
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 
@@ -19,12 +29,17 @@ from ..schema.serialize import corpus_to_dict
 
 __all__ = ["ServiceClient", "ServiceError"]
 
+#: Statuses that signal "try again shortly" rather than "you are wrong".
+_RETRYABLE_STATUSES = (429, 503)
+
 
 class ServiceError(RuntimeError):
-    """A non-2xx response from the service."""
+    """A failed service call: non-2xx, unreachable, or an unparseable body."""
 
     def __init__(self, status: int, payload: dict | None, message: str) -> None:
-        super().__init__(f"HTTP {status}: {message}")
+        super().__init__(
+            f"HTTP {status}: {message}" if status else message
+        )
         self.status = status
         self.payload = payload or {}
 
@@ -32,16 +47,52 @@ class ServiceError(RuntimeError):
 class ServiceClient:
     """Talk JSON to a running labeling service at ``base_url``."""
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 2.0,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff_s = float(backoff_s)
+        self.max_backoff_s = float(max_backoff_s)
+        #: How many attempts the most recent ``request`` call used.
+        self.last_attempts = 0
 
     # ------------------------------------------------------------------
     # Transport.
     # ------------------------------------------------------------------
 
     def request(self, method: str, path: str, payload: dict | None = None) -> dict:
-        """One HTTP round trip; decoded JSON back, :class:`ServiceError` on failure."""
+        """One logical call (with backpressure retries); decoded JSON back."""
+        attempts = self.retries + 1
+        for attempt in range(1, attempts + 1):
+            self.last_attempts = attempt
+            try:
+                return self._round_trip(method, path, payload)
+            except ServiceError as exc:
+                retryable = exc.status in _RETRYABLE_STATUSES or exc.status == 0
+                if not retryable or attempt >= attempts:
+                    raise
+                time.sleep(self._delay_for(exc))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _delay_for(self, exc: ServiceError) -> float:
+        """The server's ``retry_after`` when stated, else the fixed backoff."""
+        retry_after = exc.payload.get("retry_after") if exc.payload else None
+        if retry_after is None:
+            retry_after = getattr(exc, "retry_after_header", None)
+        try:
+            delay = float(retry_after) if retry_after is not None else self.backoff_s
+        except (TypeError, ValueError):
+            delay = self.backoff_s
+        return max(0.0, min(delay, self.max_backoff_s))
+
+    def _round_trip(self, method: str, path: str, payload: dict | None) -> dict:
         body = None
         headers = {"Accept": "application/json"}
         if payload is not None:
@@ -52,7 +103,15 @@ class ServiceClient:
         )
         try:
             with urllib.request.urlopen(req, timeout=self.timeout) as response:
-                return json.loads(response.read())
+                raw = response.read()
+                try:
+                    return json.loads(raw)
+                except (json.JSONDecodeError, ValueError):
+                    raise ServiceError(
+                        0,
+                        None,
+                        f"response body is not valid JSON: {raw[:80]!r}",
+                    ) from None
         except urllib.error.HTTPError as exc:
             raw = exc.read()
             try:
@@ -62,7 +121,14 @@ class ServiceClient:
             message = (
                 error_payload.get("error") if error_payload else raw.decode("utf-8", "replace")
             )
-            raise ServiceError(exc.code, error_payload, message or exc.reason) from None
+            error = ServiceError(exc.code, error_payload, message or exc.reason)
+            error.retry_after_header = exc.headers.get("Retry-After")
+            raise error from None
+        except urllib.error.URLError as exc:
+            # No HTTP response at all: refused, unresolvable, timed out.
+            raise ServiceError(
+                0, None, f"connection to {self.base_url} failed: {exc.reason}"
+            ) from None
 
     # ------------------------------------------------------------------
     # Endpoints.

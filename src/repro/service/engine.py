@@ -36,6 +36,16 @@ from dataclasses import dataclass, field
 from ..core.pipeline import NamingOptions, label_corpus
 from ..core.semantics import SemanticComparator
 from ..perf import aggregate_stats
+from ..resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    CircuitOpenError,
+    FaultPlan,
+    RetryPolicy,
+    TransientFault,
+    fault_scope,
+    maybe_inject,
+)
 from ..schema.clusters import Mapping
 from ..schema.interface import QueryInterface
 from ..schema.serialize import (
@@ -43,7 +53,7 @@ from ..schema.serialize import (
     mapping_from_dict,
     node_to_dict,
 )
-from .cache import LRUCache
+from .cache import ResultCache
 from .fingerprint import corpus_fingerprint, options_from_dict, options_to_dict
 
 __all__ = [
@@ -157,13 +167,21 @@ class LabelingRequest:
 
 @dataclass
 class BatchOutcome:
-    """Structured result of one batch item: a value or a classified error."""
+    """Structured result of one batch item: a value or a classified error.
+
+    ``detail`` carries error-type-specific structure (``retry_after`` for a
+    shed, the injected-fault trail for a transient exhaustion) that batch
+    entries surface verbatim; ``exception`` keeps the original object so a
+    timeout-wrapped single request can re-raise it with its type intact.
+    """
 
     ok: bool
     value: object = None
     error: str | None = None
     error_type: str | None = None
     elapsed_ms: float = 0.0
+    detail: dict | None = None
+    exception: BaseException | None = None
 
 
 def _run_timed(task: Callable[[], object]) -> BatchOutcome:
@@ -174,7 +192,32 @@ def _run_timed(task: Callable[[], object]) -> BatchOutcome:
         elapsed = (time.perf_counter() - start) * 1000.0
         return BatchOutcome(
             ok=False, error=str(exc), error_type="invalid_request",
+            elapsed_ms=elapsed, exception=exc,
+        )
+    except CircuitOpenError as exc:
+        elapsed = (time.perf_counter() - start) * 1000.0
+        return BatchOutcome(
+            ok=False,
+            error=str(exc),
+            error_type="circuit_open",
             elapsed_ms=elapsed,
+            detail={"retry_after": round(exc.retry_after, 3)},
+            exception=exc,
+        )
+    except TransientFault as exc:
+        elapsed = (time.perf_counter() - start) * 1000.0
+        return BatchOutcome(
+            ok=False,
+            error=f"{type(exc).__name__}: {exc}",
+            error_type="transient",
+            elapsed_ms=elapsed,
+            detail={
+                "resilience": {
+                    "attempts": getattr(exc, "retry_attempts", 1),
+                    "faults": list(getattr(exc, "fault_events", [])),
+                }
+            },
+            exception=exc,
         )
     except Exception as exc:  # noqa: BLE001 — isolation is the contract
         elapsed = (time.perf_counter() - start) * 1000.0
@@ -183,6 +226,7 @@ def _run_timed(task: Callable[[], object]) -> BatchOutcome:
             error=f"{type(exc).__name__}: {exc}",
             error_type="internal",
             elapsed_ms=elapsed,
+            exception=exc,
         )
     elapsed = (time.perf_counter() - start) * 1000.0
     return BatchOutcome(ok=True, value=value, elapsed_ms=elapsed)
@@ -241,19 +285,65 @@ def _lint_findings_to_dicts(findings) -> list[dict]:
 
 
 class LabelingEngine:
-    """Validate, cache and execute labeling requests, singly or in batches."""
+    """Validate, cache and execute labeling requests, singly or in batches.
+
+    Resilience knobs (all optional; the defaults serve fault-free traffic
+    with negligible overhead):
+
+    ``fault_plan``
+        a :class:`~repro.resilience.FaultPlan` activated per item, keyed by
+        the corpus fingerprint — the chaos harness's entry point;
+    ``retry``
+        the :class:`~repro.resilience.RetryPolicy` wrapping every item;
+        transient failures (injected faults, flaky I/O) heal here;
+    ``breaker``
+        a :class:`~repro.resilience.BreakerPolicy` applied *per corpus
+        fingerprint*: a corpus that keeps failing trips its own breaker and
+        fails fast with ``retry_after`` while other corpora are untouched;
+        ``None`` disables breaking;
+    ``verify``
+        ``"strict"`` re-checks every freshly computed labeling against the
+        paper-invariant oracles (:mod:`repro.testing.oracles`) before it is
+        served or cached; a violation raises ``OracleError``;
+    ``comparator``
+        a shared default comparator for overlay-free requests (instead of
+        one per worker thread) — lets test/chaos sweeps reuse warm caches.
+    """
 
     #: How many lexicon-overlay comparators to keep warm; overlays beyond
     #: this evict the least recently used one (its caches go with it).
     OVERLAY_COMPARATORS = 8
 
-    def __init__(self, cache_size: int = 128, jobs: int = 1) -> None:
-        self.cache = LRUCache(capacity=cache_size)
+    #: Bound on distinct per-fingerprint breakers kept live.
+    MAX_BREAKERS = 512
+
+    def __init__(
+        self,
+        cache_size: int = 128,
+        jobs: int = 1,
+        fault_plan: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: BreakerPolicy | None = BreakerPolicy(),
+        verify: str = "off",
+        comparator: SemanticComparator | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        if verify not in ("off", "strict"):
+            raise ValueError("verify must be 'off' or 'strict'")
+        self.cache = ResultCache(capacity=cache_size)
         self.default_jobs = max(1, int(jobs))
+        self.fault_plan = fault_plan
+        self.retry = retry or RetryPolicy()
+        self.breaker_policy = breaker
+        self.verify = verify
+        self._clock = clock
+        self._breakers: dict[str, CircuitBreaker] = {}
         self._local = threading.local()
         self._lock = threading.Lock()
         self._requests = 0
         self._errors = 0
+        self._oracle_checks = 0
+        self._oracle_failures = 0
         self._started = time.time()
         # Comparator registry: every comparator this engine ever built, so
         # stats() can aggregate their cache counters into one /metrics
@@ -261,6 +351,9 @@ class LabelingEngine:
         # batch items) with the same overlay, keyed by its canonical JSON.
         self._comparators: list[SemanticComparator] = []
         self._overlay_comparators: dict[str, SemanticComparator] = {}
+        self._default_comparator = comparator
+        if comparator is not None:
+            self._comparators.append(comparator)
 
     # ------------------------------------------------------------------
     # Single requests.
@@ -288,11 +381,53 @@ class LabelingEngine:
             return outcome.value
         if outcome.error_type == "timeout":
             raise TimeoutError(outcome.error)
+        if outcome.exception is not None:
+            # Preserve the original type (CircuitOpenError, TransientFault,
+            # OracleError, ...) so the HTTP layer maps it faithfully.
+            raise outcome.exception
         raise RuntimeError(outcome.error)
 
     def _label_request(self, request: LabelingRequest) -> dict:
+        """One item, with the full resilience stack around the pipeline.
+
+        Breaker check → fault scope → bounded retry → provenance.  The
+        ``resilience`` key is attached only when something actually
+        happened (a retry or an injected fault), so fault-free responses
+        stay byte-identical to those of an engine with no plan at all.
+        """
         with self._lock:
             self._requests += 1
+        breaker = self._breaker_for(request.fingerprint)
+        if breaker is not None and not breaker.allow():
+            raise CircuitOpenError(request.fingerprint, breaker.retry_after())
+        with fault_scope(self.fault_plan, request.fingerprint) as scope:
+            try:
+                response, attempts = self.retry.call(
+                    lambda: self._label_once(request), key=request.fingerprint
+                )
+            except Exception as exc:
+                with self._lock:
+                    self._errors += 1
+                if breaker is not None and not isinstance(exc, RequestError):
+                    breaker.record_failure()
+                if scope is not None and scope.events:
+                    exc.fault_events = [e.to_dict() for e in scope.events]
+                raise
+            events = list(scope.events) if scope is not None else []
+        if breaker is not None:
+            breaker.record_success()
+        if attempts > 1 or events:
+            response["resilience"] = {
+                "attempts": attempts,
+                "faults": [event.to_dict() for event in events],
+            }
+        return response
+
+    def _label_once(self, request: LabelingRequest) -> dict:
+        """Cache lookup + pipeline run — the unit the retry policy repeats."""
+        spec = maybe_inject("cache.get", key=request.fingerprint)
+        if spec is not None and spec.kind == "corrupt":
+            self.cache.corrupt(request.fingerprint)
         cached = self.cache.get(request.fingerprint)
         if cached is not None:
             response = copy.deepcopy(cached)
@@ -300,23 +435,37 @@ class LabelingEngine:
             if request.include_lint:
                 response["lint"] = self._lint_tree(response["tree"], request)
             return response
-        try:
-            response = self._execute(request)
-        except Exception:
-            with self._lock:
-                self._errors += 1
-            raise
+        response = self._execute(request)
         # Lint is keyed by the request, not the corpus content, so the
-        # cached entry stores only the fingerprint-determined part.
+        # cached entry stores only the fingerprint-determined part; the
+        # same goes for retry/fault provenance (attached by the caller).
         stored = copy.deepcopy(response)
         stored.pop("lint", None)
         self.cache.put(request.fingerprint, stored)
         response["cached"] = False
         return response
 
+    def _breaker_for(self, fingerprint: str) -> CircuitBreaker | None:
+        if self.breaker_policy is None:
+            return None
+        with self._lock:
+            breaker = self._breakers.get(fingerprint)
+            if breaker is None:
+                if len(self._breakers) >= self.MAX_BREAKERS:
+                    # Shed the oldest closed breaker; an open one is live
+                    # protection and stays.
+                    for key, candidate in list(self._breakers.items()):
+                        if candidate.state == CircuitBreaker.CLOSED:
+                            del self._breakers[key]
+                            break
+                breaker = self.breaker_policy.build(clock=self._clock)
+                self._breakers[fingerprint] = breaker
+        return breaker
+
     def _execute(self, request: LabelingRequest) -> dict:
         start = time.perf_counter()
         comparator = self._comparator_for(request)
+        maybe_inject("engine.execute", key=request.fingerprint)
         root, result = label_corpus(
             request.interfaces,
             request.mapping,
@@ -324,6 +473,14 @@ class LabelingEngine:
             options=request.options,
             domain=request.domain,
         )
+        if self.verify == "strict":
+            from ..testing.oracles import verify_labeling
+
+            report = verify_labeling(root, result, comparator)
+            with self._lock:
+                self._oracle_checks += report.checks
+                self._oracle_failures += len(report.violations)
+            report.raise_if_failed()
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         leaves = list(root.leaves())
         internal = [n for n in root.internal_nodes() if n is not root]
@@ -401,6 +558,17 @@ class LabelingEngine:
                 self._overlay_comparators[key] = comparator
                 self._comparators.append(comparator)
             return comparator
+        return self.default_comparator()
+
+    def default_comparator(self) -> SemanticComparator:
+        """The comparator overlay-free requests use.
+
+        The engine-wide instance when one was passed at construction,
+        otherwise one per worker thread (comparator memos are cheap to
+        build but their caches are worth keeping hot per thread).
+        """
+        if self._default_comparator is not None:
+            return self._default_comparator
         comparator = getattr(self._local, "comparator", None)
         if comparator is None:
             comparator = SemanticComparator()
@@ -434,14 +602,15 @@ class LabelingEngine:
             if outcome.ok:
                 responses.append(outcome.value)
             else:
-                responses.append(
-                    {
-                        "ok": False,
-                        "error": outcome.error,
-                        "error_type": outcome.error_type,
-                        "elapsed_ms": round(outcome.elapsed_ms, 3),
-                    }
-                )
+                entry = {
+                    "ok": False,
+                    "error": outcome.error,
+                    "error_type": outcome.error_type,
+                    "elapsed_ms": round(outcome.elapsed_ms, 3),
+                }
+                if outcome.detail:
+                    entry.update(outcome.detail)
+                responses.append(entry)
         return responses
 
     # ------------------------------------------------------------------
@@ -454,9 +623,26 @@ class LabelingEngine:
             requests, errors = self._requests, self._errors
             comparators = list(self._comparators)
             overlays = len(self._overlay_comparators)
+            breakers = list(self._breakers.values())
+            oracle_checks = self._oracle_checks
+            oracle_failures = self._oracle_failures
         semantics = aggregate_stats([c.cache_stats() for c in comparators])
         semantics["comparators"] = len(comparators)
         semantics["overlay_comparators"] = overlays
+        breaker_stats = [b.stats() for b in breakers]
+        resilience = {
+            "retry": {"max_attempts": self.retry.max_attempts},
+            "breakers": {
+                "count": len(breaker_stats),
+                "open": sum(1 for b in breaker_stats if b["state"] != "closed"),
+                "rejections": sum(b["rejections"] for b in breaker_stats),
+                "trips": sum(b["trips"] for b in breaker_stats),
+            },
+            "verify": self.verify,
+            "oracle": {"checks": oracle_checks, "failures": oracle_failures},
+        }
+        if self.fault_plan is not None:
+            resilience["fault_plan"] = self.fault_plan.stats()
         return {
             "requests": requests,
             "errors": errors,
@@ -464,6 +650,7 @@ class LabelingEngine:
             "default_jobs": self.default_jobs,
             "cache": self.cache.stats().to_dict(),
             "semantics": semantics,
+            "resilience": resilience,
         }
 
     def close(self) -> None:

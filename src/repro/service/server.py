@@ -14,6 +14,13 @@ Endpoints
                    failures come back as error entries, HTTP status stays
                    200.
 
+Both POST endpoints pass through a bounded admission queue
+(:class:`repro.resilience.AdmissionController`): work beyond the
+concurrency cap queues, and a full queue sheds with **HTTP 429** plus a
+``Retry-After`` header / ``retry_after`` field.  An open circuit breaker
+or an exhausted transient failure maps to **HTTP 503** (with structured
+fault provenance for the latter) — see ``docs/resilience.md``.
+
 Built on ``http.server.ThreadingHTTPServer`` so the package keeps its
 no-dependency guarantee; one daemon thread per connection, all shared
 state behind the engine's and the metrics registry's locks.
@@ -29,6 +36,12 @@ import time
 from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from ..resilience import (
+    AdmissionController,
+    CircuitOpenError,
+    OverloadedError,
+    TransientFault,
+)
 from .engine import LabelingEngine, RequestError
 
 __all__ = ["LabelingServer", "MetricsRegistry"]
@@ -86,11 +99,18 @@ class _LabelingHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, engine: LabelingEngine, quiet: bool = True):
+    def __init__(
+        self,
+        address,
+        engine: LabelingEngine,
+        quiet: bool = True,
+        admission: AdmissionController | None = None,
+    ):
         super().__init__(address, _Handler)
         self.engine = engine
         self.metrics = MetricsRegistry()
         self.quiet = quiet
+        self.admission = admission or AdmissionController()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -107,11 +127,15 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.server.quiet:  # pragma: no cover - operator logging
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, headers: dict | None = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -127,6 +151,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _handle(self, endpoint: str, fn) -> None:
         start = time.perf_counter()
+        headers: dict | None = None
         try:
             status, payload = fn()
         except RequestError as exc:
@@ -137,6 +162,36 @@ class _Handler(BaseHTTPRequestHandler):
             status, payload = 504, {
                 "ok": False, "error": str(exc), "error_type": "timeout",
             }
+        except OverloadedError as exc:
+            # Load shed: the admission queue is full.  429 + Retry-After is
+            # the structured backpressure clients key their backoff on.
+            status, payload = 429, {
+                "ok": False,
+                "error": str(exc),
+                "error_type": "overloaded",
+                "retry_after": round(exc.retry_after, 3),
+            }
+            headers = {"Retry-After": f"{exc.retry_after:.3f}"}
+        except CircuitOpenError as exc:
+            status, payload = 503, {
+                "ok": False,
+                "error": str(exc),
+                "error_type": "circuit_open",
+                "retry_after": round(exc.retry_after, 3),
+            }
+            headers = {"Retry-After": f"{exc.retry_after:.3f}"}
+        except TransientFault as exc:
+            status, payload = 503, {
+                "ok": False,
+                "error": str(exc),
+                "error_type": "transient",
+            }
+            resilience = getattr(exc, "fault_events", None)
+            if resilience:
+                payload["resilience"] = {
+                    "attempts": getattr(exc, "retry_attempts", 1),
+                    "faults": list(resilience),
+                }
         except Exception as exc:  # noqa: BLE001 - the server must answer
             status, payload = 500, {
                 "ok": False,
@@ -145,7 +200,7 @@ class _Handler(BaseHTTPRequestHandler):
             }
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         self.server.metrics.record(endpoint, status, elapsed_ms)
-        self._send_json(status, payload)
+        self._send_json(status, payload, headers)
 
     # ------------------------------------------------------------------
     # Endpoints.
@@ -161,6 +216,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._handle("/metrics", lambda: (200, {
                 "http": self.server.metrics.snapshot(),
                 "engine": self.server.engine.stats(),
+                "admission": self.server.admission.stats(),
             }))
         else:
             self._handle(self.path, lambda: (404, {
@@ -181,7 +237,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _post_label(self):
         payload = self._read_json()
-        return 200, self.server.engine.label(payload)
+        with self.server.admission.admit():
+            return 200, self.server.engine.label(payload)
 
     def _post_batch(self):
         payload = self._read_json()
@@ -198,9 +255,10 @@ class _Handler(BaseHTTPRequestHandler):
                 timeout = float(timeout)
             except (TypeError, ValueError):
                 raise RequestError("'timeout' must be a number of seconds") from None
-        results = self.server.engine.label_batch(
-            payload["requests"], jobs=jobs, timeout=timeout
-        )
+        with self.server.admission.admit():
+            results = self.server.engine.label_batch(
+                payload["requests"], jobs=jobs, timeout=timeout
+            )
         return 200, {
             "ok": all(r.get("ok") for r in results),
             "count": len(results),
@@ -229,12 +287,28 @@ class LabelingServer:
         jobs: int = 1,
         engine: LabelingEngine | None = None,
         quiet: bool = True,
+        max_concurrent: int = 8,
+        max_queue: int = 32,
+        retry_after_s: float = 0.5,
     ) -> None:
         self.engine = engine or LabelingEngine(cache_size=cache_size, jobs=jobs)
-        self._httpd = _LabelingHTTPServer((host, port), self.engine, quiet=quiet)
+        self._httpd = _LabelingHTTPServer(
+            (host, port),
+            self.engine,
+            quiet=quiet,
+            admission=AdmissionController(
+                max_concurrent=max_concurrent,
+                max_queue=max_queue,
+                retry_after_s=retry_after_s,
+            ),
+        )
         self._thread: threading.Thread | None = None
         self._loop_entered = False
         self._stopped = False
+
+    @property
+    def admission(self) -> AdmissionController:
+        return self._httpd.admission
 
     @property
     def host(self) -> str:

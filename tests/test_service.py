@@ -322,3 +322,130 @@ class TestLintNodeDict:
 
         with pytest.raises(ValueError, match="serialized schema node"):
             lint_node_dict({"not": "a tree"})
+
+
+class TestClientErrorPaths:
+    def test_connection_refused_raises_status_zero(self):
+        # Bind-then-close gives a port nothing is listening on.
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = ServiceClient(f"http://127.0.0.1:{port}", timeout=2, retries=0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status == 0
+        assert excinfo.value.payload == {}
+        assert "failed" in str(excinfo.value)
+
+    def test_connection_failures_are_retried(self):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = ServiceClient(
+            f"http://127.0.0.1:{port}", timeout=2, retries=2, backoff_s=0.01
+        )
+        with pytest.raises(ServiceError):
+            client.healthz()
+        assert client.last_attempts == 3  # the initial try + both retries
+
+    def test_malformed_json_body_raises_status_zero(self):
+        # A tiny HTTP server that answers 200 with a non-JSON body: the
+        # client must surface an unparseable success as a ServiceError
+        # rather than returning garbage.
+        import threading
+        from http.server import BaseHTTPRequestHandler, HTTPServer
+
+        class GarbageHandler(BaseHTTPRequestHandler):
+            def do_GET(self):
+                body = b"<html>definitely not json</html>"
+                self.send_response(200)
+                self.send_header("Content-Type", "text/html")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format, *args):  # noqa: A002
+                pass
+
+        httpd = HTTPServer(("127.0.0.1", 0), GarbageHandler)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            url = f"http://127.0.0.1:{httpd.server_address[1]}"
+            client = ServiceClient(url, timeout=5, retries=0)
+            with pytest.raises(ServiceError) as excinfo:
+                client.healthz()
+            assert excinfo.value.status == 0
+            assert "not valid JSON" in str(excinfo.value)
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+
+    def test_429_is_retried_honoring_retry_after(self):
+        # A server that sheds the first two attempts with 429 + Retry-After
+        # and then succeeds; the client must sleep what the server said
+        # and deliver the eventual success.
+        import json as json_module
+        import threading
+        from http.server import BaseHTTPRequestHandler, HTTPServer
+
+        hits = []
+
+        class SheddingHandler(BaseHTTPRequestHandler):
+            def do_GET(self):
+                hits.append(time.monotonic())
+                if len(hits) <= 2:
+                    payload = {
+                        "ok": False,
+                        "error_type": "overloaded",
+                        "retry_after": 0.08,
+                    }
+                    body = json_module.dumps(payload).encode()
+                    self.send_response(429)
+                    self.send_header("Retry-After", "0.080")
+                else:
+                    body = json_module.dumps({"status": "ok"}).encode()
+                    self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format, *args):  # noqa: A002
+                pass
+
+        httpd = HTTPServer(("127.0.0.1", 0), SheddingHandler)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            url = f"http://127.0.0.1:{httpd.server_address[1]}"
+            client = ServiceClient(url, timeout=5, retries=3, backoff_s=0.5)
+            response = client.healthz()
+            assert response == {"status": "ok"}
+            assert client.last_attempts == 3
+            # Both gaps honored the server's 0.08s Retry-After, not the
+            # client's 0.5s default backoff.
+            gaps = [b - a for a, b in zip(hits, hits[1:])]
+            assert all(0.07 <= gap < 0.4 for gap in gaps), gaps
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+
+    def test_retry_after_capped_by_max_backoff(self):
+        error = ServiceError(429, {"retry_after": 30.0}, "overloaded")
+        client = ServiceClient("http://127.0.0.1:1", max_backoff_s=0.25)
+        assert client._delay_for(error) == 0.25
+
+    def test_non_retryable_status_is_not_retried(self):
+        with LabelingServer(port=0) as server:
+            client = ServiceClient(server.url, retries=3)
+            with pytest.raises(ServiceError) as excinfo:
+                client.label(domain="no-such-domain")
+            assert excinfo.value.status == 400
+            assert client.last_attempts == 1
