@@ -30,8 +30,24 @@ from .datasets.registry import DOMAIN_TITLES, DOMAINS, load_domain
 from .experiment import run_all_domains, run_domain
 from .html import parse_forms, render_form
 from .schema.serialize import load_corpus, save_corpus
+from .service.parallel import EXECUTORS, default_jobs
 
 __all__ = ["main", "build_parser"]
+
+#: Shared ``--jobs`` default for the concurrent subcommands (``batch``,
+#: ``serve``, ``chaos``): derived from the usable CPU count, capped at 8.
+#: ``table6`` stays at 1 — its default must remain the sequential,
+#: byte-for-byte-reference path.
+DEFAULT_JOBS = default_jobs()
+
+
+def _add_executor_arg(subparser) -> None:
+    subparser.add_argument(
+        "--executor", choices=EXECUTORS, default="thread",
+        help="batch backend: 'thread' (default) or 'process' "
+             "(worker processes warmed with the compiled lexicon; "
+             "identical output)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="domains labeled concurrently (1 = sequential, identical output)",
     )
+    _add_executor_arg(table6)
 
     figure10 = sub.add_parser("figure10", help="inference-rule involvement")
     figure10.add_argument("--seed", type=int, default=0)
@@ -111,8 +128,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="0 picks an ephemeral port")
     serve.add_argument("--cache-size", type=int, default=128,
                        help="LRU result-cache capacity (0 disables caching)")
-    serve.add_argument("--jobs", type=int, default=4,
-                       help="default batch concurrency for POST /batch")
+    serve.add_argument("--jobs", type=int, default=DEFAULT_JOBS,
+                       help="default batch concurrency for POST /batch "
+                            "(default: usable CPUs, capped at 8)")
+    _add_executor_arg(serve)
+    serve.add_argument("--disk-cache", type=Path, default=None,
+                       help="persistent result-cache directory (warm "
+                            "restarts answer from disk)")
     serve.add_argument("--max-concurrent", type=int, default=8,
                        help="admission cap: concurrent requests in flight")
     serve.add_argument("--max-queue", type=int, default=32,
@@ -125,7 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
         "batch", help="merge + label many saved corpora concurrently"
     )
     batch.add_argument("corpora", type=Path, nargs="+")
-    batch.add_argument("--jobs", type=int, default=1)
+    batch.add_argument("--jobs", type=int, default=DEFAULT_JOBS,
+                       help="corpora labeled concurrently "
+                            "(default: usable CPUs, capped at 8)")
+    _add_executor_arg(batch)
     batch.add_argument("--timeout", type=float, default=None,
                        help="per-corpus time budget in seconds")
     batch.add_argument("--lint", action="store_true",
@@ -157,8 +182,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="base seed; plan i uses seed+i")
     chaos.add_argument("--rate", type=float, default=0.1,
                        help="per-item fault probability at each injection point")
-    chaos.add_argument("--jobs", type=int, default=2,
-                       help="batch concurrency per plan")
+    chaos.add_argument("--jobs", type=int, default=DEFAULT_JOBS,
+                       help="batch concurrency per plan "
+                            "(default: usable CPUs, capped at 8)")
     chaos.add_argument("--domains", nargs="+", default=None,
                        choices=sorted(DOMAINS),
                        help="seed domains per plan (default: all)")
@@ -175,7 +201,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_table6(args) -> int:
     runs = run_all_domains(
-        seed=args.seed, respondent_count=args.respondents, jobs=args.jobs
+        seed=args.seed,
+        respondent_count=args.respondents,
+        jobs=args.jobs,
+        executor=args.executor,
     )
     header = (
         f"{'Domain':<12} {'srcL':>5} {'LQ':>4} {'intL':>5} {'grp':>4} "
@@ -367,10 +396,17 @@ def _cmd_serve(args) -> int:
         quiet=not args.verbose,
         max_concurrent=args.max_concurrent,
         max_queue=args.max_queue,
+        executor=args.executor,
+        disk_cache=args.disk_cache,
     )
     print(f"repro labeling service on {server.url}")
     print("  POST /label   POST /batch   GET /healthz   GET /metrics")
-    print(f"  cache capacity {args.cache_size}, default batch jobs {args.jobs}")
+    print(f"  cache capacity {args.cache_size}, default batch jobs {args.jobs} "
+          f"({args.executor} executor)")
+    if args.disk_cache is not None:
+        disk = server.engine.disk.stats()
+        print(f"  disk cache: {disk['entries']} warm entr(ies) from "
+              f"{args.disk_cache} in {disk['load_ms']:.0f} ms")
     print(f"  admission: {args.max_concurrent} concurrent, "
           f"queue {args.max_queue} (429 beyond)")
     try:
@@ -400,6 +436,7 @@ def _cmd_batch(args) -> int:
         [p for p in payloads if "__error__" not in p],
         jobs=args.jobs,
         timeout=args.timeout,
+        executor=args.executor,
     )
     # Re-interleave unreadable files with engine results, in input order.
     merged: list[dict] = []

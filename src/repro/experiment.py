@@ -114,11 +114,44 @@ def run_domain(
     return run
 
 
+class _DomainTask:
+    """One ``run_domain`` call as a picklable zero-argument callable.
+
+    The process executor ships tasks to worker interpreters by pickling,
+    which rules out closures — this class carries the same bindings as the
+    thread path's lambda.  Inside a pool worker the warm comparator built
+    by :func:`repro.service.parallel.init_worker` (around the compiled
+    lexicon) is reused; outside one, a fresh comparator is built per task,
+    exactly like the thread path.  The two lexicon backings are
+    query-equivalent, so results do not depend on which one answers.
+    """
+
+    __slots__ = ("name", "seed", "options", "respondent_count")
+
+    def __init__(self, name, seed, options, respondent_count) -> None:
+        self.name = name
+        self.seed = seed
+        self.options = options
+        self.respondent_count = respondent_count
+
+    def __call__(self) -> DomainRunResult:
+        from .service.parallel import worker_comparator
+
+        return run_domain(
+            self.name,
+            seed=self.seed,
+            options=self.options,
+            comparator=worker_comparator() or SemanticComparator(),
+            respondent_count=self.respondent_count,
+        )
+
+
 def run_all_domains(
     seed: int = 0,
     options: NamingOptions | None = None,
     respondent_count: int = 11,
     jobs: int = 1,
+    executor: str = "thread",
 ) -> dict[str, DomainRunResult]:
     """All seven Table 6 rows, in the paper's order.
 
@@ -126,7 +159,13 @@ def run_all_domains(
     (:func:`repro.service.engine.execute_batch`); each worker labels with
     its own comparator, so results are identical to the sequential path —
     the default ``jobs=1`` keeps today's byte-for-byte behavior.
+    ``executor="process"`` uses worker processes instead of threads (each
+    warmed once with the compiled lexicon); the pipeline is deterministic,
+    so all three paths yield identical tables.
     """
+    from .service.parallel import validate_executor
+
+    validate_executor(executor)
     if jobs <= 1:
         comparator = SemanticComparator()
         return {
@@ -143,21 +182,22 @@ def run_all_domains(
     from .service.engine import execute_batch
 
     names = list(DOMAINS)
-    outcomes = execute_batch(
-        [
-            (
-                lambda name=name: run_domain(
-                    name,
-                    seed=seed,
-                    options=options,
-                    comparator=SemanticComparator(),
-                    respondent_count=respondent_count,
-                )
-            )
-            for name in names
-        ],
-        jobs=jobs,
-    )
+    tasks = [
+        _DomainTask(name, seed, options, respondent_count) for name in names
+    ]
+    if executor == "process":
+        from .lexicon.compiled import default_compiled
+        from .service.parallel import init_worker
+
+        outcomes = execute_batch(
+            tasks,
+            jobs=jobs,
+            executor="process",
+            initializer=init_worker,
+            initargs=(default_compiled(),),
+        )
+    else:
+        outcomes = execute_batch(tasks, jobs=jobs)
     failed = [
         f"{name}: {outcome.error}"
         for name, outcome in zip(names, outcomes)

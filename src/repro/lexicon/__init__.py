@@ -5,6 +5,13 @@ This package stands in for the external linguistic resources the paper uses
 substitution rationale.
 """
 
+from .compiled import (
+    CompiledLexicon,
+    ImmutableLexiconError,
+    compile_lexicon,
+    default_compiled,
+    lexicon_fingerprint,
+)
 from .data import build_default_wordnet, default_wordnet
 from .io import load_wordnet, save_wordnet_data, wordnet_from_dict
 from .morphology import base_form
@@ -14,8 +21,13 @@ from .stopwords import STOP_WORDS, is_stop_word
 from .wordnet import MiniWordNet, Synset
 
 __all__ = [
+    "CompiledLexicon",
+    "ImmutableLexiconError",
     "MiniWordNet",
     "PorterStemmer",
+    "compile_lexicon",
+    "default_compiled",
+    "lexicon_fingerprint",
     "STOP_WORDS",
     "Synset",
     "Token",

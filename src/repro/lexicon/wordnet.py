@@ -338,3 +338,40 @@ class MiniWordNet:
             self.add_synset(lemmas)
         for general, specific in hypernym_pairs:
             self.add_hypernym(general, specific)
+
+    # ------------------------------------------------------------------
+    # Snapshot exports consumed by repro.lexicon.compiled.
+    # ------------------------------------------------------------------
+
+    def vocabulary(self) -> tuple[str, ...]:
+        """Every known lemma, sorted."""
+        return tuple(sorted(self._lemma_index))
+
+    def export_data(self):
+        """``(synsets, edges)``: lemma frozensets and direct-edge pairs.
+
+        Edges are ``(general-lemmas, specific-lemmas)`` frozenset pairs —
+        a content-only view with no synset-id dependence, which is what
+        :func:`repro.lexicon.compiled.lexicon_fingerprint` hashes.
+        """
+        synsets = [synset.lemmas for synset in self._synsets]
+        edges = [
+            (self._synsets[gid].lemmas, self._synsets[sid].lemmas)
+            for sid, generals in sorted(self._hypernyms.items())
+            for gid in sorted(generals)
+        ]
+        return synsets, edges
+
+    def export_tables(self):
+        """``(synsets, sid_ancestors, lemma_sids)`` for the compiler.
+
+        ``sid_ancestors[i]`` is the transitive hypernym closure of synset
+        ``i`` (computed through the same memoised BFS queries use), and
+        ``lemma_sids`` maps each lemma to the ids of its synsets.
+        """
+        synsets = [synset.lemmas for synset in self._synsets]
+        sid_ancestors = [self._ancestors(sid) for sid in range(len(self._synsets))]
+        lemma_sids = {
+            lemma: set(sids) for lemma, sids in self._lemma_index.items()
+        }
+        return synsets, sid_ancestors, lemma_sids

@@ -22,9 +22,11 @@ the *observability* for it:
   ``repro profile`` CLI subcommand and ``benchmarks/test_bench_perf.py``;
   returns a JSON-ready report (the ``BENCH_perf.json`` artifact).
 
-Counters are plain attribute increments, not lock-guarded: under the GIL a
-lost update costs at most an off-by-a-few in a diagnostic number, and the
-hot paths cannot afford a lock per lookup.
+Counters are lock-guarded: a ``threading.Lock`` acquire on an uncontended
+lock costs ~100ns — noise against even a memo dict hit's full call path —
+and exact totals are part of the contract now that the labeling engine
+aggregates counters across thread pools and process-backend fallbacks
+(``tests/test_perf.py`` hammers them from 8 threads and asserts exactness).
 """
 
 from __future__ import annotations
@@ -43,24 +45,49 @@ __all__ = [
 
 
 class CacheCounter:
-    """Hit/miss/eviction counters for one cache, with a derived hit rate."""
+    """Hit/miss/eviction counters for one cache, with a derived hit rate.
 
-    __slots__ = ("name", "hits", "misses", "evictions")
+    Increments are lock-guarded so totals stay exact under concurrent
+    readers (thread-pool batch workers sharing one comparator).  Reads for
+    :meth:`snapshot` take the same lock; the scalar properties read single
+    attributes, which is atomic enough for display.
+    """
+
+    __slots__ = ("name", "hits", "misses", "evictions", "_lock")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        return {
+            "name": self.name,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.evictions = state["evictions"]
+        self._lock = threading.Lock()
 
     def hit(self) -> None:
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
 
     def miss(self) -> None:
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
 
     def evict(self, count: int = 1) -> None:
-        self.evictions += count
+        with self._lock:
+            self.evictions += count
 
     @property
     def lookups(self) -> int:
@@ -73,15 +100,19 @@ class CacheCounter:
         return self.hits / lookups if lookups else 0.0
 
     def reset(self) -> None:
-        self.hits = self.misses = self.evictions = 0
+        with self._lock:
+            self.hits = self.misses = self.evictions = 0
 
     def snapshot(self) -> dict:
-        """JSON-ready counter values."""
+        """JSON-ready counter values (a consistent read)."""
+        with self._lock:
+            hits, misses, evictions = self.hits, self.misses, self.evictions
+        lookups = hits + misses
         return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": round(self.hit_rate, 4),
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -92,21 +123,23 @@ class CacheCounter:
 
 
 class Timer:
-    """Accumulating wall-clock timer for one named stage."""
+    """Accumulating wall-clock timer for one named stage (thread-safe)."""
 
-    __slots__ = ("name", "calls", "total_s", "max_s")
+    __slots__ = ("name", "calls", "total_s", "max_s", "_lock")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
         self.calls = 0
         self.total_s = 0.0
         self.max_s = 0.0
+        self._lock = threading.Lock()
 
     def add(self, seconds: float) -> None:
-        self.calls += 1
-        self.total_s += seconds
-        if seconds > self.max_s:
-            self.max_s = seconds
+        with self._lock:
+            self.calls += 1
+            self.total_s += seconds
+            if seconds > self.max_s:
+                self.max_s = seconds
 
     @contextmanager
     def time(self):
@@ -118,18 +151,21 @@ class Timer:
             self.add(time.perf_counter() - start)
 
     def reset(self) -> None:
-        self.calls = 0
-        self.total_s = 0.0
-        self.max_s = 0.0
+        with self._lock:
+            self.calls = 0
+            self.total_s = 0.0
+            self.max_s = 0.0
 
     def snapshot(self) -> dict:
-        """JSON-ready timing summary (milliseconds)."""
-        mean_s = self.total_s / self.calls if self.calls else 0.0
+        """JSON-ready timing summary (milliseconds, consistent read)."""
+        with self._lock:
+            calls, total_s, max_s = self.calls, self.total_s, self.max_s
+        mean_s = total_s / calls if calls else 0.0
         return {
-            "calls": self.calls,
-            "total_ms": round(self.total_s * 1000.0, 3),
+            "calls": calls,
+            "total_ms": round(total_s * 1000.0, 3),
             "mean_ms": round(mean_s * 1000.0, 3),
-            "max_ms": round(self.max_s * 1000.0, 3),
+            "max_ms": round(max_s * 1000.0, 3),
         }
 
 

@@ -15,6 +15,11 @@ workload needs:
                  per-item timeout and error isolation, plus the resilience
                  stack (retry, per-corpus circuit breaker, fault-plan
                  scope, strict oracle verification);
+``parallel``     worker warm-up and the shared CPU-derived ``--jobs``
+                 default for the process batch backend
+                 (``executor="process"``);
+``diskcache``    a persistent, CRC-checked JSONL warm-start layer under
+                 the in-memory result cache;
 ``server``       a stdlib-only HTTP JSON API (``POST /label``,
                  ``POST /batch``, ``GET /healthz``, ``GET /metrics``)
                  behind a bounded admission queue (429 + ``Retry-After``
@@ -32,6 +37,7 @@ Start a server with ``python -m repro serve`` or in-process::
 
 from .cache import CacheStats, LRUCache, ResultCache
 from .client import ServiceClient, ServiceError
+from .diskcache import DiskCache
 from .engine import (
     BatchOutcome,
     LabelingEngine,
@@ -40,11 +46,13 @@ from .engine import (
     execute_batch,
 )
 from .fingerprint import corpus_fingerprint, fingerprint_document
+from .parallel import default_jobs
 from .server import LabelingServer, MetricsRegistry
 
 __all__ = [
     "BatchOutcome",
     "CacheStats",
+    "DiskCache",
     "LRUCache",
     "LabelingEngine",
     "LabelingRequest",
@@ -55,6 +63,7 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "corpus_fingerprint",
+    "default_jobs",
     "execute_batch",
     "fingerprint_document",
 ]

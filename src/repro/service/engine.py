@@ -29,7 +29,7 @@ import json
 import threading
 import time
 from collections.abc import Callable, Sequence
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 
@@ -232,10 +232,46 @@ def _run_timed(task: Callable[[], object]) -> BatchOutcome:
     return BatchOutcome(ok=True, value=value, elapsed_ms=elapsed)
 
 
+def _run_timed_chunk(tasks: Sequence[Callable[[], object]]) -> list[BatchOutcome]:
+    """Worker-side body for the process backend: run a chunk of tasks.
+
+    Same classification as :func:`_run_timed`, but ``exception`` is dropped
+    from every outcome — exception objects are not reliably picklable and
+    the parent only needs the classified ``error``/``error_type``/``detail``.
+    """
+    outcomes = []
+    for task in tasks:
+        outcome = _run_timed(task)
+        outcome.exception = None
+        outcomes.append(outcome)
+    return outcomes
+
+
+def _timeout_outcome(timeout: float | None) -> BatchOutcome:
+    return BatchOutcome(
+        ok=False,
+        error=f"timed out after {timeout:g}s",
+        error_type="timeout",
+        elapsed_ms=(timeout or 0.0) * 1000.0,
+    )
+
+
+def _chunk_tasks(tasks: Sequence, chunksize: int) -> list[tuple[int, list]]:
+    """Split ``tasks`` into ``(start_index, chunk)`` pairs of ``chunksize``."""
+    return [
+        (start, list(tasks[start : start + chunksize]))
+        for start in range(0, len(tasks), chunksize)
+    ]
+
+
 def execute_batch(
     tasks: Sequence[Callable[[], object]],
     jobs: int = 1,
     timeout: float | None = None,
+    executor: str = "thread",
+    initializer: Callable | None = None,
+    initargs: tuple = (),
+    chunksize: int | None = None,
 ) -> list[BatchOutcome]:
     """Run ``tasks`` with bounded concurrency and full error isolation.
 
@@ -246,30 +282,75 @@ def execute_batch(
     this is the byte-identical path the defaults keep.  ``timeout`` bounds
     how long the caller waits for each item's result (queueing included);
     a worker thread past its deadline is abandoned, not interrupted.
-    """
-    jobs = max(1, int(jobs))
-    if jobs == 1 and timeout is None:
-        return [_run_timed(task) for task in tasks]
 
-    outcomes: list[BatchOutcome] = []
-    with ThreadPoolExecutor(
-        max_workers=jobs, thread_name_prefix="repro-batch"
+    ``executor="process"`` fans the tasks over a ``ProcessPoolExecutor``
+    instead: tasks (and their results) must be picklable, ``initializer``/
+    ``initargs`` warm each worker exactly once (see
+    :func:`repro.service.parallel.init_worker`), and tasks ship in chunks —
+    ``chunksize`` defaults to ``len(tasks) // (jobs * 4)`` so each worker
+    sees a few chunks for load balance, or 1 whenever a per-item ``timeout``
+    is set (a timeout must bound one item, not a whole chunk).  Error
+    isolation is preserved: an exception in a worker comes back as an error
+    outcome (its ``exception`` object stays in the worker; only the
+    classified error crosses the pipe), and a broken pool degrades the
+    affected items to ``internal`` errors rather than raising.
+    """
+    from .parallel import validate_executor
+
+    executor = validate_executor(executor)
+    jobs = max(1, int(jobs))
+    if executor == "thread" or jobs == 1:
+        if jobs == 1 and timeout is None:
+            return [_run_timed(task) for task in tasks]
+
+        outcomes: list[BatchOutcome] = []
+        with ThreadPoolExecutor(
+            max_workers=jobs, thread_name_prefix="repro-batch"
+        ) as pool:
+            futures = [pool.submit(_run_timed, task) for task in tasks]
+            for future in futures:
+                try:
+                    outcomes.append(future.result(timeout=timeout))
+                except FutureTimeoutError:
+                    future.cancel()
+                    outcomes.append(_timeout_outcome(timeout))
+        return outcomes
+
+    if chunksize is None:
+        chunksize = 1 if timeout is not None else max(1, len(tasks) // (jobs * 4))
+    chunks = _chunk_tasks(tasks, max(1, int(chunksize)))
+    slots: list[BatchOutcome | None] = [None] * len(tasks)
+    with ProcessPoolExecutor(
+        max_workers=jobs, initializer=initializer, initargs=initargs
     ) as pool:
-        futures = [pool.submit(_run_timed, task) for task in tasks]
-        for future in futures:
+        submitted = [
+            (start, chunk, pool.submit(_run_timed_chunk, chunk))
+            for start, chunk in chunks
+        ]
+        for start, chunk, future in submitted:
             try:
-                outcomes.append(future.result(timeout=timeout))
+                results = future.result(timeout=timeout)
             except FutureTimeoutError:
                 future.cancel()
-                outcomes.append(
+                results = [_timeout_outcome(timeout) for _ in chunk]
+            except BaseException as exc:  # noqa: BLE001 — includes BrokenProcessPool
+                results = [
                     BatchOutcome(
                         ok=False,
-                        error=f"timed out after {timeout:g}s",
-                        error_type="timeout",
-                        elapsed_ms=(timeout or 0.0) * 1000.0,
+                        error=f"{type(exc).__name__}: {exc}",
+                        error_type="internal",
                     )
-                )
-    return outcomes
+                    for _ in chunk
+                ]
+            for offset, outcome in enumerate(results[: len(chunk)]):
+                slots[start + offset] = outcome
+    return [
+        outcome
+        if outcome is not None
+        else BatchOutcome(ok=False, error="worker produced no result",
+                          error_type="internal")
+        for outcome in slots
+    ]
 
 
 def _lint_findings_to_dicts(findings) -> list[dict]:
@@ -314,6 +395,10 @@ class LabelingEngine:
     #: this evict the least recently used one (its caches go with it).
     OVERLAY_COMPARATORS = 8
 
+    #: Response schema version, part of :meth:`engine_fingerprint` — bump on
+    #: any change to the response dict's shape or semantics.
+    RESPONSE_FORMAT = 1
+
     #: Bound on distinct per-fingerprint breakers kept live.
     MAX_BREAKERS = 512
 
@@ -327,11 +412,16 @@ class LabelingEngine:
         verify: str = "off",
         comparator: SemanticComparator | None = None,
         clock=time.monotonic,
+        executor: str = "thread",
+        disk_cache=None,
     ) -> None:
+        from .parallel import validate_executor
+
         if verify not in ("off", "strict"):
             raise ValueError("verify must be 'off' or 'strict'")
         self.cache = ResultCache(capacity=cache_size)
         self.default_jobs = max(1, int(jobs))
+        self.default_executor = validate_executor(executor)
         self.fault_plan = fault_plan
         self.retry = retry or RetryPolicy()
         self.breaker_policy = breaker
@@ -354,6 +444,38 @@ class LabelingEngine:
         self._default_comparator = comparator
         if comparator is not None:
             self._comparators.append(comparator)
+        self._computations = 0
+        # The persistent warm-start layer: a DiskCache instance, or a
+        # directory path to open one under this engine's config fingerprint.
+        if disk_cache is None or hasattr(disk_cache, "get"):
+            self.disk = disk_cache
+        else:
+            from .diskcache import DiskCache
+
+            self.disk = DiskCache(disk_cache, self.engine_fingerprint())
+
+    def engine_fingerprint(self) -> str:
+        """Digest of everything that determines a response besides the corpus.
+
+        Keys the engine's slice of a shared :class:`DiskCache` directory:
+        response format version, verify mode, and the lexicon content
+        (compiled-lexicon fingerprint).  Bump ``RESPONSE_FORMAT`` whenever
+        the response shape changes so stale disk entries self-invalidate.
+        """
+        import hashlib
+
+        from ..lexicon.compiled import default_compiled
+
+        material = json.dumps(
+            {
+                "format": self.RESPONSE_FORMAT,
+                "verify": self.verify,
+                "lexicon": default_compiled().fingerprint,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
     # Single requests.
@@ -429,6 +551,8 @@ class LabelingEngine:
         if spec is not None and spec.kind == "corrupt":
             self.cache.corrupt(request.fingerprint)
         cached = self.cache.get(request.fingerprint)
+        if cached is None:
+            cached = self._disk_lookup(request.fingerprint)
         if cached is not None:
             response = copy.deepcopy(cached)
             response["cached"] = True
@@ -442,8 +566,19 @@ class LabelingEngine:
         stored = copy.deepcopy(response)
         stored.pop("lint", None)
         self.cache.put(request.fingerprint, stored)
+        if self.disk is not None:
+            self.disk.put(request.fingerprint, stored)
         response["cached"] = False
         return response
+
+    def _disk_lookup(self, fingerprint: str):
+        """Consult the persistent layer; promote a hit into the memory LRU."""
+        if self.disk is None:
+            return None
+        value = self.disk.get(fingerprint)
+        if value is not None:
+            self.cache.put(fingerprint, copy.deepcopy(value))
+        return value
 
     def _breaker_for(self, fingerprint: str) -> CircuitBreaker | None:
         if self.breaker_policy is None:
@@ -464,6 +599,8 @@ class LabelingEngine:
 
     def _execute(self, request: LabelingRequest) -> dict:
         start = time.perf_counter()
+        with self._lock:
+            self._computations += 1
         comparator = self._comparator_for(request)
         maybe_inject("engine.execute", key=request.fingerprint)
         root, result = label_corpus(
@@ -586,13 +723,29 @@ class LabelingEngine:
         payloads: Sequence,
         jobs: int | None = None,
         timeout: float | None = None,
+        executor: str | None = None,
     ) -> list[dict]:
         """Label many payloads concurrently; one response dict per payload.
 
         Invalid or failing items degrade to ``{"ok": false, ...}`` entries
         in their slot — a poisoned corpus never takes the batch down.
+
+        ``executor="process"`` routes computation through a warm
+        ``ProcessPoolExecutor`` (see :meth:`_label_batch_process`); the
+        engine falls back to the thread backend whenever the process one
+        cannot apply — ``jobs <= 1`` (nothing to parallelize) or an active
+        ``fault_plan`` (fault injection mutates shared state the workers
+        cannot see, and the plan itself must observe every attempt).
         """
         jobs = self.default_jobs if jobs is None else max(1, int(jobs))
+        if executor is None:
+            executor = self.default_executor
+        else:
+            from .parallel import validate_executor
+
+            executor = validate_executor(executor)
+        if executor == "process" and jobs > 1 and self.fault_plan is None:
+            return self._label_batch_process(payloads, jobs, timeout)
         tasks = [
             (lambda p=payload: self._label_request(LabelingRequest.from_payload(p)))
             for payload in payloads
@@ -602,16 +755,138 @@ class LabelingEngine:
             if outcome.ok:
                 responses.append(outcome.value)
             else:
-                entry = {
-                    "ok": False,
-                    "error": outcome.error,
-                    "error_type": outcome.error_type,
-                    "elapsed_ms": round(outcome.elapsed_ms, 3),
-                }
-                if outcome.detail:
-                    entry.update(outcome.detail)
-                responses.append(entry)
+                responses.append(self._outcome_entry(outcome))
         return responses
+
+    @staticmethod
+    def _outcome_entry(outcome: BatchOutcome) -> dict:
+        entry = {
+            "ok": False,
+            "error": outcome.error,
+            "error_type": outcome.error_type,
+            "elapsed_ms": round(outcome.elapsed_ms, 3),
+        }
+        if outcome.detail:
+            entry.update(outcome.detail)
+        return entry
+
+    def _label_batch_process(
+        self,
+        payloads: Sequence,
+        jobs: int,
+        timeout: float | None,
+    ) -> list[dict]:
+        """The process backend: parse + cache in the parent, compute in workers.
+
+        Payloads are validated in the parent (invalid ones degrade to error
+        entries without ever touching the pool), deduplicated by corpus
+        fingerprint, and answered from the parent's result cache where
+        possible.  Only cache misses ship to workers — as raw payload dicts
+        (always picklable), re-parsed next to the data by the worker's warm
+        engine (:func:`repro.service.parallel.init_worker` built it once,
+        around the compiled lexicon that arrived with the initializer).
+        Results flow back as JSON-ready dicts and are stored in the parent
+        cache exactly as a thread-backend computation would have been.
+
+        The per-item resilience stack (retry, per-fingerprint breakers) runs
+        inside each worker's engine; the parent's breakers are not consulted
+        — the process backend is for fault-free bulk work, which is why an
+        active ``fault_plan`` forces the thread fallback in
+        :meth:`label_batch`.
+        """
+        from ..lexicon.compiled import default_compiled
+        from .parallel import PayloadTask, init_worker
+
+        entries: list[dict | None] = [None] * len(payloads)
+        requests: dict[int, LabelingRequest] = {}
+        pending: dict[str, list[int]] = {}
+        for index, payload in enumerate(payloads):
+            try:
+                request = LabelingRequest.from_payload(payload)
+            except RequestError as exc:
+                entries[index] = {
+                    "ok": False,
+                    "error": str(exc),
+                    "error_type": "invalid_request",
+                    "elapsed_ms": 0.0,
+                }
+                continue
+            with self._lock:
+                self._requests += 1
+            requests[index] = request
+            cached = self._cached_response(request)
+            if cached is not None:
+                entries[index] = cached
+                continue
+            # Dedupe by fingerprint only when the cache could have served
+            # the repeats — with caching disabled the thread backend
+            # recomputes every duplicate, and this path must match it.
+            key = (
+                request.fingerprint
+                if self.cache.capacity > 0
+                else f"{request.fingerprint}#{index}"
+            )
+            pending.setdefault(key, []).append(index)
+
+        if pending:
+            order = list(pending.items())
+            tasks = [PayloadTask(payloads[indices[0]]) for _, indices in order]
+            outcomes = execute_batch(
+                tasks,
+                jobs=jobs,
+                timeout=timeout,
+                executor="process",
+                initializer=init_worker,
+                initargs=(default_compiled(),),
+            )
+            for (_key, indices), outcome in zip(order, outcomes):
+                if outcome.ok:
+                    with self._lock:
+                        self._computations += 1  # computed in a worker process
+                    response = outcome.value
+                    stored = copy.deepcopy(response)
+                    for volatile in ("cached", "lint", "resilience"):
+                        stored.pop(volatile, None)
+                    self._store_response(
+                        requests[indices[0]].fingerprint, stored, requests[indices[0]]
+                    )
+                    entries[indices[0]] = response
+                    for duplicate in indices[1:]:
+                        repeat = copy.deepcopy(stored)
+                        repeat["cached"] = True
+                        if requests[duplicate].include_lint:
+                            repeat["lint"] = self._lint_tree(
+                                repeat["tree"], requests[duplicate]
+                            )
+                        entries[duplicate] = repeat
+                else:
+                    with self._lock:
+                        self._errors += len(indices)
+                    for index in indices:
+                        entries[index] = self._outcome_entry(outcome)
+
+        return [entry for entry in entries if entry is not None]
+
+    def _cached_response(self, request: LabelingRequest) -> dict | None:
+        """A cache hit shaped exactly like the thread path's hit, or ``None``."""
+        cached = self.cache.get(request.fingerprint)
+        if cached is None:
+            cached = self._disk_lookup(request.fingerprint)
+        if cached is None:
+            return None
+        response = copy.deepcopy(cached)
+        response["cached"] = True
+        if request.include_lint:
+            response["lint"] = self._lint_tree(response["tree"], request)
+        return response
+
+    def _store_response(
+        self, fingerprint: str, stored: dict, request: LabelingRequest
+    ) -> None:
+        """Store an already-sanitized response in every cache layer."""
+        self.cache.put(fingerprint, stored)
+        if self.disk is not None:
+            self.disk.put(fingerprint, stored)
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle.
@@ -621,6 +896,7 @@ class LabelingEngine:
         """Engine counters + cache stats (embedded in ``GET /metrics``)."""
         with self._lock:
             requests, errors = self._requests, self._errors
+            computations = self._computations
             comparators = list(self._comparators)
             overlays = len(self._overlay_comparators)
             breakers = list(self._breakers.values())
@@ -643,15 +919,20 @@ class LabelingEngine:
         }
         if self.fault_plan is not None:
             resilience["fault_plan"] = self.fault_plan.stats()
-        return {
+        snapshot = {
             "requests": requests,
             "errors": errors,
+            "computations": computations,
             "uptime_s": round(time.time() - self._started, 3),
             "default_jobs": self.default_jobs,
+            "default_executor": self.default_executor,
             "cache": self.cache.stats().to_dict(),
             "semantics": semantics,
             "resilience": resilience,
         }
+        if self.disk is not None:
+            snapshot["disk"] = self.disk.stats()
+        return snapshot
 
     def close(self) -> None:
         """Release cached results (symmetry with the server lifecycle)."""

@@ -1,0 +1,135 @@
+"""Process-pool plumbing for the batch backend: worker warm-up + tasks.
+
+The thread backend in :func:`repro.service.engine.execute_batch` is bounded
+by the GIL for the CPU-heavy parts of the pipeline (the ``Combine*``
+closure, the Definition-1 token loops).  The process backend fans the same
+work over a ``ProcessPoolExecutor``; everything that crosses the process
+boundary lives in this module so it is importable — hence picklable — from
+worker processes:
+
+* :func:`init_worker` — the pool initializer.  It receives one
+  :class:`~repro.lexicon.compiled.CompiledLexicon` (pickled once per
+  worker, never per task) and builds the worker's long-lived comparator
+  and cache-less engine.  Every task dispatched to that worker reuses them.
+* :class:`PayloadTask` — one labeling payload as a picklable callable; its
+  result is the engine's JSON-ready response dict, so nothing exotic rides
+  the return pickle.
+* :func:`default_jobs` — the documented CPU-derived default the ``batch``,
+  ``serve`` and ``chaos`` CLI subcommands share.
+
+Worker state is module-global by design: a ``ProcessPoolExecutor`` worker
+is a fresh interpreter whose only channel for warm state is the
+initializer, and globals are how that state survives across tasks.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "EXECUTORS",
+    "PayloadTask",
+    "default_jobs",
+    "init_worker",
+    "worker_comparator",
+    "worker_engine",
+]
+
+#: The executor kinds the batch backend accepts.
+EXECUTORS = ("thread", "process")
+
+#: Cap on the CPU-derived default: labeling is memory-light but the curve
+#: flattens past a handful of workers (per-worker warm-up and result
+#: pickling take over), so more than 8 defaults helps nobody.
+MAX_DEFAULT_JOBS = 8
+
+
+def default_jobs() -> int:
+    """The shared CLI default for ``--jobs``: ``os.cpu_count()`` capped at 8.
+
+    ``sched_getaffinity`` is preferred where available — in a container the
+    affinity mask, not the host core count, is what can actually run.
+    """
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        cores = os.cpu_count() or 1
+    return max(1, min(MAX_DEFAULT_JOBS, cores))
+
+
+def validate_executor(executor: str) -> str:
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"executor must be one of {', '.join(EXECUTORS)}; got {executor!r}"
+        )
+    return executor
+
+
+# ----------------------------------------------------------------------
+# Worker-side state (one interpreter per pool worker).
+# ----------------------------------------------------------------------
+
+_WORKER: dict = {}
+
+
+def init_worker(compiled) -> None:
+    """Pool initializer: build the worker's comparator + engine once.
+
+    ``compiled`` is the parent's :class:`CompiledLexicon` — immutable and
+    cheaply pickled, it arrives exactly once per worker.  The engine is
+    cache-less (the parent process owns result caching) and breaker-less
+    (the process backend only runs fault-free work; resilient traffic
+    falls back to the thread backend).
+    """
+    from ..core.label import LabelAnalyzer
+    from ..core.semantics import SemanticComparator
+    from .engine import LabelingEngine
+
+    comparator = SemanticComparator(LabelAnalyzer(compiled))
+    _WORKER["comparator"] = comparator
+    _WORKER["engine"] = LabelingEngine(
+        cache_size=0, breaker=None, comparator=comparator
+    )
+
+
+def worker_comparator():
+    """The warm per-worker comparator, or ``None`` outside a pool worker."""
+    return _WORKER.get("comparator")
+
+
+def worker_engine():
+    """The warm per-worker engine, building a default one if the pool was
+    created without an initializer (defensive; normal pools always init)."""
+    engine = _WORKER.get("engine")
+    if engine is None:
+        from ..lexicon.compiled import default_compiled
+
+        init_worker(default_compiled())
+        engine = _WORKER["engine"]
+    return engine
+
+
+class PayloadTask:
+    """One labeling payload as a picklable zero-argument callable.
+
+    Calling it inside a worker routes the payload through the worker's
+    warm engine; the return value is the engine's JSON-ready response
+    dict.  Errors propagate as exceptions for the caller's
+    :class:`~repro.service.engine.BatchOutcome` classification.
+    """
+
+    __slots__ = ("payload",)
+
+    def __init__(self, payload) -> None:
+        self.payload = payload
+
+    def __call__(self) -> dict:
+        # Mirror the thread backend's task body (parse, then the resilience
+        # wrapper) so both executors classify errors identically.
+        from .engine import LabelingRequest
+
+        engine = worker_engine()
+        return engine._label_request(LabelingRequest.from_payload(self.payload))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PayloadTask({type(self.payload).__name__})"

@@ -56,12 +56,18 @@ class MetricsRegistry:
         self._by_endpoint: dict[str, int] = {}
         self._by_status: dict[int, int] = {}
         self._started = time.time()
+        # The sorted sample is snapshotted once and reused until the next
+        # record() invalidates it, so back-to-back /metrics polls of an
+        # idle window don't re-sort (the list is replaced, never mutated,
+        # so a reference handed out under the lock stays consistent).
+        self._sorted: list[float] | None = None
 
     def record(self, endpoint: str, status: int, elapsed_ms: float) -> None:
         with self._lock:
             self._by_endpoint[endpoint] = self._by_endpoint.get(endpoint, 0) + 1
             self._by_status[status] = self._by_status.get(status, 0) + 1
             self._latencies.append(elapsed_ms)
+            self._sorted = None
 
     @staticmethod
     def _percentile(ordered: list[float], pct: float) -> float:
@@ -73,7 +79,9 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict:
         with self._lock:
-            sample = sorted(self._latencies)
+            if self._sorted is None:
+                self._sorted = sorted(self._latencies)
+            sample = self._sorted
             by_endpoint = dict(sorted(self._by_endpoint.items()))
             by_status = {str(k): v for k, v in sorted(self._by_status.items())}
         latency = {
@@ -290,8 +298,15 @@ class LabelingServer:
         max_concurrent: int = 8,
         max_queue: int = 32,
         retry_after_s: float = 0.5,
+        executor: str = "thread",
+        disk_cache=None,
     ) -> None:
-        self.engine = engine or LabelingEngine(cache_size=cache_size, jobs=jobs)
+        self.engine = engine or LabelingEngine(
+            cache_size=cache_size,
+            jobs=jobs,
+            executor=executor,
+            disk_cache=disk_cache,
+        )
         self._httpd = _LabelingHTTPServer(
             (host, port),
             self.engine,

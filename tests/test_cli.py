@@ -162,9 +162,13 @@ class TestBatchCommand:
 
 class TestServeParser:
     def test_serve_defaults(self):
+        from repro.service.parallel import default_jobs
+
         args = build_parser().parse_args(["serve"])
         assert args.command == "serve"
-        assert args.port == 8777 and args.cache_size == 128 and args.jobs == 4
+        assert args.port == 8777 and args.cache_size == 128
+        assert args.jobs == default_jobs()
+        assert args.executor == "thread" and args.disk_cache is None
 
     def test_serve_flags(self):
         args = build_parser().parse_args(
@@ -208,9 +212,12 @@ class TestLintCommand:
 
 class TestChaosCommand:
     def test_chaos_parser_defaults(self):
+        from repro.service.parallel import default_jobs
+
         args = build_parser().parse_args(["chaos"])
         assert args.command == "chaos"
-        assert (args.plans, args.seed, args.rate, args.jobs) == (10, 0, 0.1, 2)
+        assert (args.plans, args.seed, args.rate) == (10, 0, 0.1)
+        assert args.jobs == default_jobs()
 
     def test_chaos_smoke_writes_report(self, tmp_path, capsys):
         out_path = tmp_path / "chaos.json"

@@ -1,0 +1,239 @@
+"""The process-parallel batch backend: equivalence, isolation, fallback.
+
+The contract under test: ``executor="process"`` is a pure performance
+knob.  Same responses as the thread backend (modulo the timing field),
+same error classification, same stdout for ``repro table6`` byte for
+byte — and a transparent fallback to threads whenever the process pool
+cannot apply (``jobs <= 1`` or an active fault plan).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiment import run_all_domains
+from repro.resilience import FaultPlan
+from repro.service.engine import LabelingEngine, execute_batch
+from repro.service.parallel import (
+    EXECUTORS,
+    PayloadTask,
+    default_jobs,
+    validate_executor,
+)
+
+
+# Tasks for the raw executor tests must be importable to survive pickling.
+class _Square:
+    def __init__(self, n):
+        self.n = n
+
+    def __call__(self):
+        return self.n * self.n
+
+
+class _Boom:
+    def __call__(self):
+        raise ValueError("boom")
+
+
+def _strip_timing(response: dict) -> dict:
+    clean = json.loads(json.dumps(response))
+    clean.get("stats", {}).pop("elapsed_ms", None)
+    clean.pop("elapsed_ms", None)
+    return clean
+
+
+# ----------------------------------------------------------------------
+# The shared --jobs default + executor validation.
+# ----------------------------------------------------------------------
+
+
+def test_default_jobs_is_cpu_derived_and_bounded():
+    jobs = default_jobs()
+    assert 1 <= jobs <= 8
+    assert jobs == default_jobs()  # deterministic
+
+
+def test_cli_jobs_defaults_are_unified():
+    parser = build_parser()
+    batch = parser.parse_args(["batch", "x.json"])
+    serve = parser.parse_args(["serve"])
+    chaos = parser.parse_args(["chaos"])
+    assert batch.jobs == serve.jobs == chaos.jobs == default_jobs()
+    # table6 stays sequential by default: its default output is the
+    # byte-for-byte reference.
+    assert parser.parse_args(["table6"]).jobs == 1
+
+
+def test_cli_executor_flags_exist():
+    parser = build_parser()
+    for argv in (
+        ["table6", "--executor", "process"],
+        ["batch", "x.json", "--executor", "process"],
+        ["serve", "--executor", "process"],
+    ):
+        assert parser.parse_args(argv).executor == "process"
+        assert parser.parse_args([argv[0], *argv[1:-2]]).executor == "thread"
+
+
+def test_validate_executor():
+    for name in EXECUTORS:
+        assert validate_executor(name) == name
+    with pytest.raises(ValueError, match="executor"):
+        validate_executor("fiber")
+    with pytest.raises(ValueError, match="executor"):
+        LabelingEngine(executor="fiber")
+
+
+# ----------------------------------------------------------------------
+# execute_batch with the process executor.
+# ----------------------------------------------------------------------
+
+
+def test_execute_batch_process_preserves_order_and_isolation():
+    tasks = [_Square(0), _Boom(), _Square(2), _Square(3), _Boom(), _Square(5)]
+    outcomes = execute_batch(tasks, jobs=2, executor="process")
+    assert [o.ok for o in outcomes] == [True, False, True, True, False, True]
+    assert [o.value for o in outcomes if o.ok] == [0, 4, 9, 25]
+    for failed in (outcomes[1], outcomes[4]):
+        assert failed.error_type == "internal"
+        assert "boom" in failed.error
+        assert failed.exception is None  # never shipped across the pipe
+
+
+def test_execute_batch_process_chunksize_one():
+    outcomes = execute_batch(
+        [_Square(n) for n in range(7)], jobs=3, executor="process", chunksize=1
+    )
+    assert [o.value for o in outcomes] == [n * n for n in range(7)]
+
+
+def test_execute_batch_rejects_unknown_executor():
+    with pytest.raises(ValueError, match="executor"):
+        execute_batch([_Square(1)], jobs=2, executor="greenlet")
+
+
+# ----------------------------------------------------------------------
+# Engine: process backend == thread backend.
+# ----------------------------------------------------------------------
+
+
+PAYLOADS = [
+    {"domain": "airline", "seed": 0},
+    {"not-a": "request"},
+    {"domain": "book", "seed": 0},
+    {"domain": "airline", "seed": 0},  # duplicate: served from cache
+]
+
+
+def test_label_batch_process_matches_thread():
+    thread_engine = LabelingEngine(breaker=None)
+    process_engine = LabelingEngine(breaker=None)
+    thread_results = thread_engine.label_batch(PAYLOADS, jobs=1)
+    process_results = process_engine.label_batch(
+        PAYLOADS, jobs=2, executor="process"
+    )
+    assert len(thread_results) == len(process_results)
+    for expected, got in zip(thread_results, process_results):
+        assert _strip_timing(expected) == _strip_timing(got)
+    assert process_results[1]["error_type"] == "invalid_request"
+    assert process_results[3]["cached"] is True
+    assert thread_engine.stats()["requests"] == process_engine.stats()["requests"]
+
+
+def test_label_batch_process_default_executor_knob():
+    engine = LabelingEngine(breaker=None, jobs=2, executor="process")
+    assert engine.stats()["default_executor"] == "process"
+    results = engine.label_batch([{"domain": "job", "seed": 0}] * 2)
+    assert results[0]["ok"] and results[1]["cached"] is True
+
+
+def test_payload_task_is_picklable():
+    import pickle
+
+    task = pickle.loads(pickle.dumps(PayloadTask({"domain": "job", "seed": 0})))
+    assert task.payload == {"domain": "job", "seed": 0}
+
+
+# ----------------------------------------------------------------------
+# Fallback to threads (jobs<=1, fault plan) + shared-comparator safety.
+# ----------------------------------------------------------------------
+
+
+def test_process_backend_falls_back_on_single_job(monkeypatch):
+    engine = LabelingEngine(breaker=None)
+    monkeypatch.setattr(
+        engine,
+        "_label_batch_process",
+        lambda *a, **k: pytest.fail("process backend used with jobs=1"),
+    )
+    results = engine.label_batch(
+        [{"domain": "job", "seed": 0}], jobs=1, executor="process"
+    )
+    assert results[0]["ok"]
+
+
+def test_process_backend_falls_back_under_fault_plan(monkeypatch):
+    """With a fault plan the batch must run on threads — and a comparator
+    shared across those threads must keep its consistency-pair cache exact.
+
+    This is the scenario the pair cache sees in production: the chaos
+    harness drives ``executor="process"`` batches that silently degrade to
+    the thread backend, where every worker thread shares one comparator.
+    """
+    from repro.core.semantics import SemanticComparator
+
+    comparator = SemanticComparator()
+    plan = FaultPlan((), seed=0)  # active but empty: never fires
+    engine = LabelingEngine(
+        breaker=None, fault_plan=plan, comparator=comparator
+    )
+    monkeypatch.setattr(
+        engine,
+        "_label_batch_process",
+        lambda *a, **k: pytest.fail("process backend used under a fault plan"),
+    )
+    payloads = [
+        {"domain": name, "seed": 0} for name in ("airline", "auto", "book", "job")
+    ]
+    results = engine.label_batch(payloads, jobs=4, executor="process")
+    assert all(r["ok"] for r in results)
+
+    # Same responses as a fresh sequential engine (the plan never fired).
+    reference = LabelingEngine(breaker=None).label_batch(payloads, jobs=1)
+    for expected, got in zip(reference, results):
+        assert _strip_timing(expected) == _strip_timing(got)
+
+    # The shared comparator's pair cache stayed coherent under the thread
+    # fan-out: counters add up and every group it memoised is consistent
+    # with a fresh comparator's answer.
+    pairs = comparator.cache_stats()["consistency_pairs"]
+    assert pairs["hits"] + pairs["misses"] > 0
+    assert pairs["hit_rate"] == round(
+        pairs["hits"] / (pairs["hits"] + pairs["misses"]), 4
+    )
+
+
+# ----------------------------------------------------------------------
+# run_all_domains + table6: byte identity across executors.
+# ----------------------------------------------------------------------
+
+
+def test_run_all_domains_rejects_bad_executor():
+    with pytest.raises(ValueError, match="executor"):
+        run_all_domains(jobs=2, executor="fiber")
+
+
+def test_table6_output_byte_identical_across_executors(capsys):
+    argv = ["table6", "--seed", "0", "--respondents", "3"]
+    assert main(argv + ["--jobs", "1"]) == 0
+    sequential = capsys.readouterr().out
+    assert main(argv + ["--jobs", "2", "--executor", "process"]) == 0
+    process = capsys.readouterr().out
+    assert process == sequential
+    assert main(argv + ["--jobs", "2", "--executor", "thread"]) == 0
+    threaded = capsys.readouterr().out
+    assert threaded == sequential

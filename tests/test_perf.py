@@ -78,6 +78,76 @@ def test_registry_shares_by_name():
     assert "t" in snap["timers"]
 
 
+def test_cache_counter_exact_under_concurrent_hammer():
+    """8 threads hammering one counter must lose no increment.
+
+    The counters aggregate across thread-pool batch workers (and the
+    process backend's thread fallback); exact totals are the contract.
+    """
+    import threading
+
+    counter = CacheCounter("hammered")
+    rounds = 2500
+    workers = 8
+
+    def hammer():
+        for __ in range(rounds):
+            counter.hit()
+            counter.miss()
+            counter.evict(2)
+
+    threads = [threading.Thread(target=hammer) for __ in range(workers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    snap = counter.snapshot()
+    assert snap["hits"] == workers * rounds
+    assert snap["misses"] == workers * rounds
+    assert snap["evictions"] == 2 * workers * rounds
+    assert snap["hit_rate"] == 0.5
+
+
+def test_perf_registry_exact_under_concurrent_hammer():
+    """Shared registry: counter AND timer totals stay exact from 8 threads."""
+    import threading
+
+    registry = PerfRegistry()
+    rounds = 2000
+    workers = 8
+
+    def hammer():
+        counter = registry.counter("shared")
+        timer = registry.timer("shared")
+        for __ in range(rounds):
+            counter.hit()
+            timer.add(0.001)
+
+    threads = [threading.Thread(target=hammer) for __ in range(workers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    snap = registry.snapshot()
+    assert snap["counters"]["shared"]["hits"] == workers * rounds
+    assert snap["timers"]["shared"]["calls"] == workers * rounds
+    assert snap["timers"]["shared"]["total_ms"] == pytest.approx(
+        workers * rounds * 1.0, rel=1e-6
+    )
+
+
+def test_cache_counter_pickles_without_its_lock():
+    import pickle
+
+    counter = CacheCounter("picklable")
+    counter.hit()
+    counter.evict(3)
+    clone = pickle.loads(pickle.dumps(counter))
+    assert clone.snapshot() == counter.snapshot()
+    clone.hit()  # the restored lock works
+    assert clone.hits == counter.hits + 1
+
+
 def test_aggregate_stats_recomputes_hit_rate():
     merged = aggregate_stats([
         {"labels": {"hits": 9, "misses": 1, "hit_rate": 0.9}},

@@ -228,6 +228,44 @@ class TestMetricsRegistry:
             registry.record("/label", 200, float(ms))
         assert registry.snapshot()["latency"]["window"] == 10
 
+    def test_nearest_rank_semantics(self):
+        # Nearest-rank: rank = ceil(n * pct / 100), 1-indexed.
+        ordered = [10.0, 20.0, 30.0, 40.0]
+        assert MetricsRegistry._percentile(ordered, 50) == 20.0
+        assert MetricsRegistry._percentile(ordered, 90) == 40.0
+        assert MetricsRegistry._percentile(ordered, 99) == 40.0
+        assert MetricsRegistry._percentile([7.5], 99) == 7.5
+        assert MetricsRegistry._percentile([], 50) == 0.0
+        # p99 only separates from max once the window exceeds 100 samples.
+        big = [float(ms) for ms in range(1, 201)]
+        assert MetricsRegistry._percentile(big, 99) == 198.0
+        assert MetricsRegistry._percentile(big, 100) == 200.0
+
+    def test_snapshot_reports_p50_p90_p99(self):
+        registry = MetricsRegistry(window=200)
+        for ms in range(1, 201):
+            registry.record("/label", 200, float(ms))
+        latency = registry.snapshot()["latency"]
+        assert latency["p50_ms"] == 100.0
+        assert latency["p90_ms"] == 180.0
+        assert latency["p99_ms"] == 198.0
+        assert latency["max_ms"] == 200.0
+
+    def test_sorted_sample_cached_between_snapshots(self):
+        registry = MetricsRegistry(window=100)
+        for ms in (3.0, 1.0, 2.0):
+            registry.record("/label", 200, ms)
+        first = registry.snapshot()
+        cached = registry._sorted
+        assert cached == [1.0, 2.0, 3.0]
+        # An idle re-poll reuses the sorted sample (same object)...
+        assert registry.snapshot()["latency"] == first["latency"]
+        assert registry._sorted is cached
+        # ...and the next record invalidates it.
+        registry.record("/label", 200, 0.5)
+        assert registry._sorted is None
+        assert registry.snapshot()["latency"]["p50_ms"] == 1.0
+
 
 class TestHTTPService:
     @pytest.fixture(scope="class")
