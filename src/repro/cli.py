@@ -11,6 +11,7 @@
     python -m repro serve --port 8080      # the HTTP labeling service
     python -m repro batch a.json b.json --jobs 4
     python -m repro profile -o BENCH_perf.json
+    python -m repro trace corpus.json      # span tree with per-phase timings
     python -m repro chaos --plans 10 --rate 0.1   # seeded fault sweep
 
 Every command accepts ``--seed`` where a corpus is generated.
@@ -30,7 +31,7 @@ from .datasets.registry import DOMAIN_TITLES, DOMAINS, load_domain
 from .experiment import run_all_domains, run_domain
 from .html import parse_forms, render_form
 from .schema.serialize import load_corpus, save_corpus
-from .service.parallel import EXECUTORS, default_jobs
+from .service.parallel import EXECUTORS, default_jobs, normalize_jobs
 
 __all__ = ["main", "build_parser"]
 
@@ -39,6 +40,14 @@ __all__ = ["main", "build_parser"]
 #: ``table6`` stays at 1 — its default must remain the sequential,
 #: byte-for-byte-reference path.
 DEFAULT_JOBS = default_jobs()
+
+
+def _jobs_arg(value: str) -> int:
+    """argparse type for ``--jobs``: 0 clamps to 1, negatives are rejected."""
+    try:
+        return normalize_jobs(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _add_executor_arg(subparser) -> None:
@@ -67,7 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated survey size (the paper used 11)",
     )
     table6.add_argument(
-        "--jobs", type=int, default=1,
+        "--jobs", type=_jobs_arg, default=1,
         help="domains labeled concurrently (1 = sequential, identical output)",
     )
     _add_executor_arg(table6)
@@ -128,7 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="0 picks an ephemeral port")
     serve.add_argument("--cache-size", type=int, default=128,
                        help="LRU result-cache capacity (0 disables caching)")
-    serve.add_argument("--jobs", type=int, default=DEFAULT_JOBS,
+    serve.add_argument("--jobs", type=_jobs_arg, default=DEFAULT_JOBS,
                        help="default batch concurrency for POST /batch "
                             "(default: usable CPUs, capped at 8)")
     _add_executor_arg(serve)
@@ -142,12 +151,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "shed with HTTP 429")
     serve.add_argument("--verbose", action="store_true",
                        help="log one line per HTTP request")
+    serve.add_argument("--trace", action="store_true",
+                       help="request-scoped span tracing: every POST runs "
+                            "under a trace retrievable via "
+                            "GET /trace/<request_id>")
+    serve.add_argument("--trace-log", type=Path, default=None,
+                       help="append every request's spans to DIR/spans.jsonl "
+                            "(CRC-safe JSONL; implies --trace)")
 
     batch = sub.add_parser(
         "batch", help="merge + label many saved corpora concurrently"
     )
     batch.add_argument("corpora", type=Path, nargs="+")
-    batch.add_argument("--jobs", type=int, default=DEFAULT_JOBS,
+    batch.add_argument("--jobs", type=_jobs_arg, default=DEFAULT_JOBS,
                        help="corpora labeled concurrently "
                             "(default: usable CPUs, capped at 8)")
     _add_executor_arg(batch)
@@ -171,6 +187,21 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--json", action="store_true",
                          help="print the JSON report instead of the summary")
 
+    trace = sub.add_parser(
+        "trace",
+        help="label once under a span trace and print the span tree "
+             "(per-phase timings)",
+    )
+    trace.add_argument("corpus", type=Path, nargs="?", default=None,
+                       help="a saved corpus JSON (see 'repro generate')")
+    trace.add_argument("--domain", choices=sorted(DOMAINS), default=None,
+                       help="trace a registered domain instead of a corpus file")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--json", action="store_true",
+                       help="emit the trace as JSON instead of the tree view")
+    trace.add_argument("--chrome", type=Path, default=None,
+                       help="also write a chrome://tracing JSON array")
+
     chaos = sub.add_parser(
         "chaos",
         help="sweep seeded fault plans through the service stack "
@@ -182,7 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="base seed; plan i uses seed+i")
     chaos.add_argument("--rate", type=float, default=0.1,
                        help="per-item fault probability at each injection point")
-    chaos.add_argument("--jobs", type=int, default=DEFAULT_JOBS,
+    chaos.add_argument("--jobs", type=_jobs_arg, default=DEFAULT_JOBS,
                        help="batch concurrency per plan "
                             "(default: usable CPUs, capped at 8)")
     chaos.add_argument("--domains", nargs="+", default=None,
@@ -398,9 +429,14 @@ def _cmd_serve(args) -> int:
         max_queue=args.max_queue,
         executor=args.executor,
         disk_cache=args.disk_cache,
+        tracing=args.trace,
+        trace_log=args.trace_log,
     )
     print(f"repro labeling service on {server.url}")
-    print("  POST /label   POST /batch   GET /healthz   GET /metrics")
+    print("  POST /label   POST /batch   GET /healthz   GET /metrics"
+          + ("   GET /trace/<id>" if args.trace or args.trace_log else ""))
+    if args.trace_log is not None:
+        print(f"  trace log: {server.trace_log.path}")
     print(f"  cache capacity {args.cache_size}, default batch jobs {args.jobs} "
           f"({args.executor} executor)")
     if args.disk_cache is not None:
@@ -522,6 +558,55 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from .obs import Trace, chrome_trace, format_trace
+    from .service.engine import LabelingEngine, RequestError
+
+    if (args.corpus is None) == (args.domain is None):
+        print("trace needs exactly one of a corpus file or --domain",
+              file=sys.stderr)
+        return 2
+    if args.corpus is not None:
+        try:
+            payload: dict = {"corpus": json.loads(args.corpus.read_text())}
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read corpus {args.corpus}: {exc}", file=sys.stderr)
+            return 1
+    else:
+        payload = {"domain": args.domain, "seed": args.seed}
+
+    engine = LabelingEngine(cache_size=0)
+    trace = Trace(name="trace")
+    try:
+        with trace.scope():
+            engine.label(payload)
+    except RequestError as exc:
+        print(f"invalid request: {exc}", file=sys.stderr)
+        return 1
+    record = trace.to_dict()
+    if args.json:
+        print(json.dumps(record, indent=2))
+    else:
+        print(format_trace(record))
+        phases = [
+            s for s in trace.root.iter_spans() if s.name.startswith("phase:")
+        ]
+        if phases:
+            total = trace.root.duration_ms or 1.0
+            print()
+            print(f"{'phase':<26} {'ms':>10} {'share':>7}")
+            print("-" * 45)
+            for sp in phases:
+                print(f"{sp.name:<26} {sp.duration_ms:>10.3f} "
+                      f"{sp.duration_ms / total:>7.1%}")
+    if args.chrome is not None:
+        args.chrome.write_text(
+            json.dumps(chrome_trace([record]), indent=2) + "\n"
+        )
+        print(f"wrote {args.chrome}", file=sys.stderr)
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     from .testing.chaos import run_chaos_sweep
 
@@ -573,6 +658,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "batch": _cmd_batch,
     "profile": _cmd_profile,
+    "trace": _cmd_trace,
     "chaos": _cmd_chaos,
 }
 

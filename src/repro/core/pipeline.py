@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.tracer import event as obs_event
+from ..obs.tracer import span as obs_span
 from ..resilience.faults import maybe_inject
 from ..schema.clusters import Mapping
 from ..schema.groups import Group, GroupKind, partition_clusters
@@ -65,7 +67,14 @@ def label_integrated_interface(
     log = InferenceLog(keep_events=options.keep_inference_events)
 
     maybe_inject("pipeline.phase1", wordnet=comparator.wordnet)
-    partition = partition_clusters(integrated_root)
+    with obs_span("phase:partitions") as sp:
+        partition = partition_clusters(integrated_root)
+        if sp is not None:
+            sp.tags.update(
+                regular=len(partition.regular),
+                isolated=len(partition.isolated),
+                root_group=partition.root_group is not None,
+            )
     result = LabelingResult(
         root=integrated_root, partition=partition, inference_log=log
     )
@@ -76,89 +85,125 @@ def label_integrated_interface(
     named_groups: list[Group] = list(partition.regular)
     if partition.root_group is not None:
         named_groups.append(partition.root_group)
-    for group in named_groups:
-        relation = GroupRelation.from_mapping(group, mapping)
-        result.group_results[group.name] = name_group(
-            relation, comparator, analyzer, max_level=options.max_level
-        )
+    with obs_span("phase:group_relations", groups=len(named_groups)):
+        relations = {
+            group.name: GroupRelation.from_mapping(group, mapping)
+            for group in named_groups
+        }
+    # The per-group ladder walk: find_partitions + combine closure +
+    # solution ranking (Sections 4-5); the closure dominates its cost.
+    with obs_span("phase:combine_closure", groups=len(named_groups)):
+        for group in named_groups:
+            relation = relations[group.name]
+            with obs_span(
+                group.name,
+                clusters=len(relation.clusters),
+                tuples=len(relation.tuples),
+            ) as sp:
+                group_result = name_group(
+                    relation, comparator, analyzer, max_level=options.max_level
+                )
+                result.group_results[group.name] = group_result
+                if sp is not None:
+                    sp.tags["consistent"] = group_result.consistent
+                    if group_result.level is not None:
+                        sp.tags["level"] = group_result.level.name
 
     # Phase 1b: isolated clusters via the RAN variant.
-    for group in partition.isolated:
-        cluster_name = group.clusters[0]
-        outcome = name_isolated_cluster(
-            mapping[cluster_name],
+    with obs_span("isolated_clusters", count=len(partition.isolated)):
+        for group in partition.isolated:
+            cluster_name = group.clusters[0]
+            outcome = name_isolated_cluster(
+                mapping[cluster_name],
+                comparator,
+                analyzer,
+                use_instances=options.use_instances,
+            )
+            result.isolated_outcomes[cluster_name] = outcome
+            if options.use_instances:
+                for __ in outcome.discarded_value_labels:
+                    log.record(
+                        InferenceRule.LI7, domain=domain, node=cluster_name,
+                        label=outcome.label, detail="discarded value label",
+                    )
+                for __ in outcome.li6_replacements:
+                    log.record(
+                        InferenceRule.LI6, domain=domain, node=cluster_name,
+                        label=outcome.label, detail="domain-bounded generic root",
+                    )
+
+    with obs_span("phase:internal_inference") as sp:
+        # Phase 1c: candidate labels for internal nodes.
+        finder = CandidateFinder(
+            interfaces,
+            mapping,
             comparator,
             analyzer,
-            use_instances=options.use_instances,
+            log=log,
+            domain=domain,
+            enabled_rules=options.enabled_rules,
         )
-        result.isolated_outcomes[cluster_name] = outcome
-        if options.use_instances:
-            for __ in outcome.discarded_value_labels:
-                log.record(
-                    InferenceRule.LI7, domain=domain, node=cluster_name,
-                    label=outcome.label, detail="discarded value label",
-                )
-            for __ in outcome.li6_replacements:
-                log.record(
-                    InferenceRule.LI6, domain=domain, node=cluster_name,
-                    label=outcome.label, detail="domain-bounded generic root",
-                )
+        internal = [
+            node
+            for node in integrated_root.internal_nodes()
+            if node is not integrated_root
+        ]
+        candidates: dict[str, list[CandidateLabel]] = {
+            node.name: finder.candidates_for(node) for node in internal
+        }
+        potentials: dict[str, list[str]] = {
+            node.name: finder.potential_labels_for(node) for node in internal
+        }
 
-    # Phase 1c: candidate labels for internal nodes.
-    finder = CandidateFinder(
-        interfaces,
-        mapping,
-        comparator,
-        analyzer,
-        log=log,
-        domain=domain,
-        enabled_rules=options.enabled_rules,
-    )
-    internal = [
-        node for node in integrated_root.internal_nodes() if node is not integrated_root
-    ]
-    candidates: dict[str, list[CandidateLabel]] = {
-        node.name: finder.candidates_for(node) for node in internal
-    }
-    potentials: dict[str, list[str]] = {
-        node.name: finder.potential_labels_for(node) for node in internal
-    }
+        # --------------------------------------------------------------
+        # Phases 2+3: assign labels top-down, narrowing group solutions.
+        # --------------------------------------------------------------
+        maybe_inject("pipeline.phase3", wordnet=comparator.wordnet)
+        allowed: dict[str, list[GroupSolution]] = {
+            name: list(res.solutions) for name, res in result.group_results.items()
+        }
+        groups_by_parent = _groups_by_name(named_groups)
 
-    # ------------------------------------------------------------------
-    # Phases 2+3: assign labels top-down, narrowing group solutions.
-    # ------------------------------------------------------------------
-    maybe_inject("pipeline.phase3", wordnet=comparator.wordnet)
-    allowed: dict[str, list[GroupSolution]] = {
-        name: list(res.solutions) for name, res in result.group_results.items()
-    }
-    groups_by_parent = _groups_by_name(named_groups)
-
-    for node in internal:  # pre-order == top-down
-        _assign_internal_label(
-            node,
-            candidates[node.name],
-            potentials[node.name],
-            result,
-            finder,
-            allowed,
-            groups_by_parent,
-            comparator,
-        )
+        for node in internal:  # pre-order == top-down
+            _assign_internal_label(
+                node,
+                candidates[node.name],
+                potentials[node.name],
+                result,
+                finder,
+                allowed,
+                groups_by_parent,
+                comparator,
+            )
+        if sp is not None:
+            sp.tags.update(
+                internal_nodes=len(internal),
+                labeled=sum(
+                    1
+                    for node in internal
+                    if result.node_labels.get(node.name)
+                ),
+            )
 
     # Finalize group solutions and write leaf labels.
-    for group in named_groups:
-        group_result = result.group_results[group.name]
-        pool = allowed.get(group.name) or group_result.solutions
-        solution = pool[0] if pool else None
-        if solution is None:
-            continue
-        if options.repair_homonyms:
-            result.repairs.extend(
-                resolve_homonyms(solution, group_result.relation, comparator)
-            )
-        result.chosen_solutions[group.name] = solution
-        for cluster_name in group.clusters:
-            result.field_labels[cluster_name] = solution.label_for(cluster_name)
+    with obs_span("phase:conflict_repair") as sp:
+        for group in named_groups:
+            group_result = result.group_results[group.name]
+            pool = allowed.get(group.name) or group_result.solutions
+            solution = pool[0] if pool else None
+            if solution is None:
+                continue
+            if options.repair_homonyms:
+                result.repairs.extend(
+                    resolve_homonyms(solution, group_result.relation, comparator)
+                )
+            result.chosen_solutions[group.name] = solution
+            for cluster_name in group.clusters:
+                result.field_labels[cluster_name] = solution.label_for(cluster_name)
+        if sp is not None:
+            sp.tags["repairs"] = len(result.repairs)
+            if result.repairs:
+                obs_event("homonyms.repaired", count=len(result.repairs))
 
     for group in partition.isolated:
         cluster_name = group.clusters[0]
@@ -193,8 +238,9 @@ def label_corpus(
     from ..merge.merger import merge_interfaces
 
     maybe_inject("pipeline.merge")
-    mapping.expand_one_to_many(interfaces)
-    root = merge_interfaces(interfaces, mapping)
+    with obs_span("merge", interfaces=len(interfaces), clusters=len(mapping)):
+        mapping.expand_one_to_many(interfaces)
+        root = merge_interfaces(interfaces, mapping)
     result = label_integrated_interface(
         root,
         interfaces,

@@ -1,0 +1,229 @@
+"""Trace persistence and interchange: JSONL log, LRU store, Chrome export.
+
+Three consumers of a finished :class:`~repro.obs.tracer.Trace`:
+
+* :class:`TraceLog` — a structured JSONL event log (``serve --trace-log
+  DIR``): one record per span, appended with a CRC-32 like the disk
+  cache's segments, so a crash mid-write can at worst truncate the final
+  line and a reader never trusts a corrupt record.
+* :class:`TraceStore` — the bounded LRU of recent traces behind
+  ``GET /trace/<request_id>``.
+* :func:`chrome_trace` — the ``chrome://tracing`` / Perfetto JSON array
+  form ("trace event format", ``ph: "X"`` complete events), for looking
+  at a request's phase timeline in a real trace viewer.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import zlib
+from collections import OrderedDict
+from pathlib import Path
+
+__all__ = ["TraceLog", "TraceStore", "chrome_trace"]
+
+_LOG_FILE = "spans.jsonl"
+
+
+def _canonical(value) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def _crc(value) -> int:
+    return zlib.crc32(_canonical(value).encode("utf-8"))
+
+
+def _flatten_spans(record: dict, request_id: str):
+    """Yield one flat, JSON-ready dict per span of a trace dict (pre-order).
+
+    ``id`` is the span's pre-order index within its trace; ``parent`` is
+    the parent's index (``None`` for the root) — enough to rebuild the
+    tree without nesting records.
+    """
+    counter = 0
+
+    def walk(span: dict, parent: int | None):
+        nonlocal counter
+        index = counter
+        counter += 1
+        flat = {
+            "request_id": request_id,
+            "id": index,
+            "parent": parent,
+            "name": span["name"],
+            "start_ms": span["start_ms"],
+            "duration_ms": span["duration_ms"],
+        }
+        if span.get("tags"):
+            flat["tags"] = span["tags"]
+        if span.get("events"):
+            flat["events"] = span["events"]
+        yield flat
+        for child in span.get("children") or []:
+            yield from walk(child, index)
+
+    yield from walk(record["root"], None)
+
+
+class TraceLog:
+    """CRC-safe append-only JSONL span log (one record per span).
+
+    Each line is ``{"crc": <CRC-32 of the canonical record JSON>,
+    "v": <flat span record>}``.  Appends are lock-guarded and flushed;
+    :meth:`load` skips (and counts) corrupt or truncated lines instead of
+    failing, mirroring :class:`repro.service.diskcache.DiskCache`.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / _LOG_FILE
+        self._lock = threading.Lock()
+        self._records = 0
+        self._traces = 0
+
+    def append(self, trace_record: dict) -> int:
+        """Append every span of one trace dict; returns spans written."""
+        request_id = trace_record.get("request_id", "")
+        lines = []
+        for flat in _flatten_spans(trace_record, request_id):
+            lines.append(_canonical({"crc": _crc(flat), "v": flat}))
+        payload = "\n".join(lines) + "\n"
+        with self._lock:
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(payload)
+                handle.flush()
+            self._records += len(lines)
+            self._traces += 1
+        return len(lines)
+
+    @staticmethod
+    def load(path: str | Path) -> tuple[list[dict], int]:
+        """Read a span log back: ``(valid records, corrupt line count)``."""
+        records: list[dict] = []
+        corrupt = 0
+        text = Path(path).read_text("utf-8")
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                wrapper = json.loads(line)
+            except json.JSONDecodeError:
+                corrupt += 1
+                continue
+            if (
+                not isinstance(wrapper, dict)
+                or "v" not in wrapper
+                or _crc(wrapper["v"]) != wrapper.get("crc")
+            ):
+                corrupt += 1
+                continue
+            records.append(wrapper["v"])
+        return records, corrupt
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "path": str(self.path),
+                "traces": self._traces,
+                "spans": self._records,
+            }
+
+
+class TraceStore:
+    """Thread-safe bounded LRU of recent trace dicts, keyed by request id."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        self.capacity = max(0, int(capacity))
+        self._lock = threading.Lock()
+        self._traces: OrderedDict[str, dict] = OrderedDict()
+        self._evictions = 0
+
+    def put(self, trace_record: dict) -> None:
+        if self.capacity <= 0:
+            return
+        request_id = trace_record.get("request_id")
+        if not request_id:
+            return
+        with self._lock:
+            if request_id in self._traces:
+                self._traces.pop(request_id)
+            self._traces[request_id] = trace_record
+            while len(self._traces) > self.capacity:
+                self._traces.popitem(last=False)
+                self._evictions += 1
+
+    def get(self, request_id: str) -> dict | None:
+        with self._lock:
+            record = self._traces.get(request_id)
+            if record is not None:
+                self._traces.move_to_end(request_id)
+            return record
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "stored": len(self._traces),
+                "evictions": self._evictions,
+            }
+
+
+def chrome_trace(traces) -> list[dict]:
+    """Trace dicts → the Chrome ``chrome://tracing`` JSON array form.
+
+    One complete (``ph: "X"``) event per span; each trace gets its own
+    ``pid`` so several requests sit side by side in the viewer.  Times are
+    microseconds, as the format requires.  The returned list serializes
+    with ``json.dump`` directly.
+    """
+
+    events: list[dict] = []
+    for pid, record in enumerate(traces, start=1):
+        request_id = record.get("request_id", "?")
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"request {request_id}"},
+            }
+        )
+
+        def walk(span: dict, depth: int):
+            events.append(
+                {
+                    "name": span["name"],
+                    "cat": "repro",
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": 1,
+                    "ts": round(span["start_ms"] * 1000.0, 1),
+                    "dur": round(span["duration_ms"] * 1000.0, 1),
+                    "args": {**(span.get("tags") or {}), "depth": depth},
+                }
+            )
+            for e in span.get("events") or []:
+                events.append(
+                    {
+                        "name": e["name"],
+                        "cat": "repro",
+                        "ph": "i",
+                        "s": "t",
+                        "pid": pid,
+                        "tid": 1,
+                        "ts": round(e["at_ms"] * 1000.0, 1),
+                        "args": e.get("attrs") or {},
+                    }
+                )
+            for child in span.get("children") or []:
+                walk(child, depth + 1)
+
+        walk(record["root"], 0)
+    return events

@@ -21,9 +21,11 @@ workload needs:
 ``diskcache``    a persistent, CRC-checked JSONL warm-start layer under
                  the in-memory result cache;
 ``server``       a stdlib-only HTTP JSON API (``POST /label``,
-                 ``POST /batch``, ``GET /healthz``, ``GET /metrics``)
-                 behind a bounded admission queue (429 + ``Retry-After``
-                 on overload);
+                 ``POST /batch``, ``GET /healthz``, ``GET /metrics``,
+                 ``GET /trace/<request_id>``) behind a bounded admission
+                 queue (429 + ``Retry-After`` on overload), with
+                 request-scoped tracing (:mod:`repro.obs`) and a
+                 ``request_id`` echoed on every POST response;
 ``client``       a urllib client that honors the service's backpressure.
 
 Start a server with ``python -m repro serve`` or in-process::
@@ -46,8 +48,8 @@ from .engine import (
     execute_batch,
 )
 from .fingerprint import corpus_fingerprint, fingerprint_document
-from .parallel import default_jobs
-from .server import LabelingServer, MetricsRegistry
+from .parallel import default_jobs, normalize_jobs
+from .server import LabelingServer, MetricsRegistry, PayloadTooLargeError
 
 __all__ = [
     "BatchOutcome",
@@ -58,6 +60,7 @@ __all__ = [
     "LabelingRequest",
     "LabelingServer",
     "MetricsRegistry",
+    "PayloadTooLargeError",
     "RequestError",
     "ResultCache",
     "ServiceClient",
@@ -66,4 +69,5 @@ __all__ = [
     "default_jobs",
     "execute_batch",
     "fingerprint_document",
+    "normalize_jobs",
 ]

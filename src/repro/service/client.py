@@ -41,7 +41,10 @@ class ServiceError(RuntimeError):
             f"HTTP {status}: {message}" if status else message
         )
         self.status = status
-        self.payload = payload or {}
+        # A misbehaving (or non-repro) server can answer with any JSON
+        # value; only a dict is a usable error payload — anything else
+        # would break the retry loop's ``payload.get(...)`` probes.
+        self.payload = payload if isinstance(payload, dict) else {}
 
 
 class ServiceClient:
@@ -67,13 +70,23 @@ class ServiceClient:
     # Transport.
     # ------------------------------------------------------------------
 
-    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
-        """One logical call (with backpressure retries); decoded JSON back."""
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        request_id: str | None = None,
+    ) -> dict:
+        """One logical call (with backpressure retries); decoded JSON back.
+
+        ``request_id`` rides as ``X-Request-Id`` so the server correlates
+        every attempt (and its trace) with this logical call.
+        """
         attempts = self.retries + 1
         for attempt in range(1, attempts + 1):
             self.last_attempts = attempt
             try:
-                return self._round_trip(method, path, payload)
+                return self._round_trip(method, path, payload, request_id)
             except ServiceError as exc:
                 retryable = exc.status in _RETRYABLE_STATUSES or exc.status == 0
                 if not retryable or attempt >= attempts:
@@ -92,12 +105,20 @@ class ServiceClient:
             delay = self.backoff_s
         return max(0.0, min(delay, self.max_backoff_s))
 
-    def _round_trip(self, method: str, path: str, payload: dict | None) -> dict:
+    def _round_trip(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None,
+        request_id: str | None = None,
+    ) -> dict:
         body = None
         headers = {"Accept": "application/json"}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if request_id is not None:
+            headers["X-Request-Id"] = request_id
         req = urllib.request.Request(
             f"{self.base_url}{path}", data=body, headers=headers, method=method
         )
@@ -118,8 +139,12 @@ class ServiceClient:
                 error_payload = json.loads(raw)
             except (json.JSONDecodeError, ValueError):
                 error_payload = None
+            if not isinstance(error_payload, dict):
+                error_payload = None
             message = (
-                error_payload.get("error") if error_payload else raw.decode("utf-8", "replace")
+                error_payload.get("error")
+                if error_payload
+                else raw.decode("utf-8", "replace")
             )
             error = ServiceError(exc.code, error_payload, message or exc.reason)
             error.retry_after_header = exc.headers.get("Retry-After")
@@ -151,6 +176,7 @@ class ServiceClient:
         lexicon: dict | None = None,
         lint: bool = False,
         timeout: float | None = None,
+        request_id: str | None = None,
     ) -> dict:
         """``POST /label`` with either a corpus document or a domain name."""
         payload: dict = {}
@@ -167,7 +193,7 @@ class ServiceClient:
             payload["lint"] = True
         if timeout is not None:
             payload["timeout"] = timeout
-        return self.request("POST", "/label", payload)
+        return self.request("POST", "/label", payload, request_id=request_id)
 
     def label_corpus(
         self, interfaces: list[QueryInterface], mapping: Mapping, **kwargs
@@ -180,6 +206,7 @@ class ServiceClient:
         requests: list[dict],
         jobs: int | None = None,
         timeout: float | None = None,
+        request_id: str | None = None,
     ) -> dict:
         """``POST /batch`` over a list of label-request payloads."""
         payload: dict = {"requests": requests}
@@ -187,4 +214,8 @@ class ServiceClient:
             payload["jobs"] = jobs
         if timeout is not None:
             payload["timeout"] = timeout
-        return self.request("POST", "/batch", payload)
+        return self.request("POST", "/batch", payload, request_id=request_id)
+
+    def trace(self, request_id: str) -> dict:
+        """``GET /trace/<request_id>`` — the span trace of a served request."""
+        return self.request("GET", f"/trace/{request_id}")

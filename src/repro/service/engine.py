@@ -24,16 +24,23 @@ cache, counters) is lock-guarded, so one engine instance safely serves the
 
 from __future__ import annotations
 
+import contextvars
 import copy
 import json
+import logging
 import threading
 import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from ..core.pipeline import NamingOptions, label_corpus
+from ..obs.tracer import Span, current_span, current_trace
+from ..obs.tracer import event as obs_event
+from ..obs.tracer import is_active as obs_is_active
+from ..obs.tracer import span as obs_span
 from ..core.semantics import SemanticComparator
 from ..perf import aggregate_stats
 from ..resilience import (
@@ -63,6 +70,8 @@ __all__ = [
     "RequestError",
     "execute_batch",
 ]
+
+log = logging.getLogger(__name__)
 
 
 class RequestError(ValueError):
@@ -272,6 +281,7 @@ def execute_batch(
     initializer: Callable | None = None,
     initargs: tuple = (),
     chunksize: int | None = None,
+    mp_context=None,
 ) -> list[BatchOutcome]:
     """Run ``tasks`` with bounded concurrency and full error isolation.
 
@@ -292,13 +302,15 @@ def execute_batch(
     is set (a timeout must bound one item, not a whole chunk).  Error
     isolation is preserved: an exception in a worker comes back as an error
     outcome (its ``exception`` object stays in the worker; only the
-    classified error crosses the pipe), and a broken pool degrades the
-    affected items to ``internal`` errors rather than raising.
+    classified error crosses the pipe), and a pool whose workers fail to
+    bootstrap (``BrokenProcessPool``) falls back to the thread backend with
+    a logged warning rather than failing the batch.  ``mp_context`` selects
+    the multiprocessing start method (tests exercise ``spawn``).
     """
-    from .parallel import validate_executor
+    from .parallel import normalize_jobs, validate_executor
 
     executor = validate_executor(executor)
-    jobs = max(1, int(jobs))
+    jobs = normalize_jobs(jobs)
     if executor == "thread" or jobs == 1:
         if jobs == 1 and timeout is None:
             return [_run_timed(task) for task in tasks]
@@ -320,30 +332,46 @@ def execute_batch(
         chunksize = 1 if timeout is not None else max(1, len(tasks) // (jobs * 4))
     chunks = _chunk_tasks(tasks, max(1, int(chunksize)))
     slots: list[BatchOutcome | None] = [None] * len(tasks)
-    with ProcessPoolExecutor(
-        max_workers=jobs, initializer=initializer, initargs=initargs
-    ) as pool:
-        submitted = [
-            (start, chunk, pool.submit(_run_timed_chunk, chunk))
-            for start, chunk in chunks
-        ]
-        for start, chunk, future in submitted:
-            try:
-                results = future.result(timeout=timeout)
-            except FutureTimeoutError:
-                future.cancel()
-                results = [_timeout_outcome(timeout) for _ in chunk]
-            except BaseException as exc:  # noqa: BLE001 — includes BrokenProcessPool
-                results = [
-                    BatchOutcome(
-                        ok=False,
-                        error=f"{type(exc).__name__}: {exc}",
-                        error_type="internal",
-                    )
-                    for _ in chunk
-                ]
-            for offset, outcome in enumerate(results[: len(chunk)]):
-                slots[start + offset] = outcome
+    try:
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=initializer,
+            initargs=initargs,
+            mp_context=mp_context,
+        ) as pool:
+            submitted = [
+                (start, chunk, pool.submit(_run_timed_chunk, chunk))
+                for start, chunk in chunks
+            ]
+            for start, chunk, future in submitted:
+                try:
+                    results = future.result(timeout=timeout)
+                except FutureTimeoutError:
+                    future.cancel()
+                    results = [_timeout_outcome(timeout) for _ in chunk]
+                except BrokenProcessPool:
+                    raise
+                except BaseException as exc:  # noqa: BLE001 — isolation
+                    results = [
+                        BatchOutcome(
+                            ok=False,
+                            error=f"{type(exc).__name__}: {exc}",
+                            error_type="internal",
+                        )
+                        for _ in chunk
+                    ]
+                for offset, outcome in enumerate(results[: len(chunk)]):
+                    slots[start + offset] = outcome
+    except BrokenProcessPool as exc:
+        # Worker bootstrap failed (e.g. unpicklable initializer state under
+        # a spawn start method).  The tasks themselves are plain callables,
+        # so degrade to the thread backend rather than failing the batch.
+        log.warning(
+            "process pool broke (%s); falling back to thread backend for %d tasks",
+            exc,
+            len(tasks),
+        )
+        return execute_batch(tasks, jobs=jobs, timeout=timeout, executor="thread")
     return [
         outcome
         if outcome is not None
@@ -415,12 +443,12 @@ class LabelingEngine:
         executor: str = "thread",
         disk_cache=None,
     ) -> None:
-        from .parallel import validate_executor
+        from .parallel import normalize_jobs, validate_executor
 
         if verify not in ("off", "strict"):
             raise ValueError("verify must be 'off' or 'strict'")
         self.cache = ResultCache(capacity=cache_size)
-        self.default_jobs = max(1, int(jobs))
+        self.default_jobs = normalize_jobs(jobs)
         self.default_executor = validate_executor(executor)
         self.fault_plan = fault_plan
         self.retry = retry or RetryPolicy()
@@ -496,8 +524,14 @@ class LabelingEngine:
         )
         if request.timeout is None:
             return self._label_request(request)
+        # The deadline helper thread must inherit the caller's context
+        # (active trace scope, fault scope) — ThreadPoolExecutor does not
+        # propagate contextvars on its own.
+        ctx = contextvars.copy_context()
         outcome = execute_batch(
-            [lambda: self._label_request(request)], jobs=1, timeout=request.timeout
+            [lambda: ctx.run(self._label_request, request)],
+            jobs=1,
+            timeout=request.timeout,
         )[0]
         if outcome.ok:
             return outcome.value
@@ -519,25 +553,30 @@ class LabelingEngine:
         """
         with self._lock:
             self._requests += 1
+        traced = obs_is_active()
         breaker = self._breaker_for(request.fingerprint)
-        if breaker is not None and not breaker.allow():
-            raise CircuitOpenError(request.fingerprint, breaker.retry_after())
+        if breaker is not None:
+            allowed = self._breaker_op(breaker, breaker.allow, traced)
+            if not allowed:
+                obs_event("breaker.rejected", state=breaker.state)
+                raise CircuitOpenError(request.fingerprint, breaker.retry_after())
+        attempt_fn, retry_sleep = self._attempt_fn(request, traced)
         with fault_scope(self.fault_plan, request.fingerprint) as scope:
             try:
                 response, attempts = self.retry.call(
-                    lambda: self._label_once(request), key=request.fingerprint
+                    attempt_fn, key=request.fingerprint, sleep=retry_sleep
                 )
             except Exception as exc:
                 with self._lock:
                     self._errors += 1
                 if breaker is not None and not isinstance(exc, RequestError):
-                    breaker.record_failure()
+                    self._breaker_op(breaker, breaker.record_failure, traced)
                 if scope is not None and scope.events:
                     exc.fault_events = [e.to_dict() for e in scope.events]
                 raise
             events = list(scope.events) if scope is not None else []
         if breaker is not None:
-            breaker.record_success()
+            self._breaker_op(breaker, breaker.record_success, traced)
         if attempts > 1 or events:
             response["resilience"] = {
                 "attempts": attempts,
@@ -545,14 +584,50 @@ class LabelingEngine:
             }
         return response
 
+    @staticmethod
+    def _breaker_op(breaker: CircuitBreaker, op: Callable, traced: bool):
+        """Run one breaker operation; trace state transitions as span events."""
+        if not traced:
+            return op()
+        before = breaker.state
+        result = op()
+        after = breaker.state
+        if after != before:
+            obs_event("breaker.transition", **{"from": before, "to": after})
+        return result
+
+    def _attempt_fn(self, request: LabelingRequest, traced: bool):
+        """The retry body and sleep hook, span-wrapped when tracing is on."""
+        if not traced:
+            return (lambda: self._label_once(request)), time.sleep
+
+        counter = {"n": 0}
+
+        def attempt():
+            counter["n"] += 1
+            with obs_span("engine.attempt", attempt=counter["n"]):
+                return self._label_once(request)
+
+        def sleep(delay: float) -> None:
+            obs_event("retry.backoff", delay_ms=round(delay * 1000.0, 3))
+            time.sleep(delay)
+
+        return attempt, sleep
+
     def _label_once(self, request: LabelingRequest) -> dict:
         """Cache lookup + pipeline run — the unit the retry policy repeats."""
         spec = maybe_inject("cache.get", key=request.fingerprint)
         if spec is not None and spec.kind == "corrupt":
             self.cache.corrupt(request.fingerprint)
-        cached = self.cache.get(request.fingerprint)
-        if cached is None:
-            cached = self._disk_lookup(request.fingerprint)
+        with obs_span("cache.lookup") as sp:
+            cached = self.cache.get(request.fingerprint)
+            outcome = "memory" if cached is not None else "miss"
+            if cached is None:
+                cached = self._disk_lookup(request.fingerprint)
+                if cached is not None:
+                    outcome = "disk"
+            if sp is not None:
+                sp.tags["outcome"] = outcome
         if cached is not None:
             response = copy.deepcopy(cached)
             response["cached"] = True
@@ -603,17 +678,26 @@ class LabelingEngine:
             self._computations += 1
         comparator = self._comparator_for(request)
         maybe_inject("engine.execute", key=request.fingerprint)
-        root, result = label_corpus(
-            request.interfaces,
-            request.mapping,
-            comparator=comparator,
-            options=request.options,
-            domain=request.domain,
-        )
+        with obs_span(
+            "pipeline",
+            interfaces=len(request.interfaces),
+            clusters=len(request.mapping),
+        ):
+            root, result = label_corpus(
+                request.interfaces,
+                request.mapping,
+                comparator=comparator,
+                options=request.options,
+                domain=request.domain,
+            )
         if self.verify == "strict":
             from ..testing.oracles import verify_labeling
 
-            report = verify_labeling(root, result, comparator)
+            with obs_span("verify.oracles") as sp:
+                report = verify_labeling(root, result, comparator)
+                if sp is not None:
+                    sp.tags["checks"] = report.checks
+                    sp.tags["violations"] = len(report.violations)
             with self._lock:
                 self._oracle_checks += report.checks
                 self._oracle_failures += len(report.violations)
@@ -737,26 +821,53 @@ class LabelingEngine:
         ``fault_plan`` (fault injection mutates shared state the workers
         cannot see, and the plan itself must observe every attempt).
         """
-        jobs = self.default_jobs if jobs is None else max(1, int(jobs))
+        from .parallel import normalize_jobs, validate_executor
+
+        jobs = self.default_jobs if jobs is None else normalize_jobs(jobs)
         if executor is None:
             executor = self.default_executor
         else:
-            from .parallel import validate_executor
-
             executor = validate_executor(executor)
-        if executor == "process" and jobs > 1 and self.fault_plan is None:
-            return self._label_batch_process(payloads, jobs, timeout)
-        tasks = [
-            (lambda p=payload: self._label_request(LabelingRequest.from_payload(p)))
-            for payload in payloads
-        ]
-        responses: list[dict] = []
-        for outcome in execute_batch(tasks, jobs=jobs, timeout=timeout):
-            if outcome.ok:
-                responses.append(outcome.value)
+        with obs_span(
+            "engine.batch", items=len(payloads), jobs=jobs, executor=executor
+        ):
+            if executor == "process" and jobs > 1 and self.fault_plan is None:
+                return self._label_batch_process(payloads, jobs, timeout)
+            trace = current_trace()
+            parent = current_span()
+            if trace is not None and parent is not None:
+                # Fan-out tracing: pre-create one span per item in submission
+                # order (deterministic tree shape), and have each worker
+                # thread attach its own scope rooted at its item's span.
+                tasks = []
+                for index, payload in enumerate(payloads):
+                    item_span = Span(f"item[{index}]")
+                    item_span.start_s = item_span.end_s = trace.clock()
+                    parent.children.append(item_span)
+                    tasks.append(self._traced_task(trace, item_span, payload))
             else:
-                responses.append(self._outcome_entry(outcome))
-        return responses
+                tasks = [
+                    (
+                        lambda p=payload: self._label_request(
+                            LabelingRequest.from_payload(p)
+                        )
+                    )
+                    for payload in payloads
+                ]
+            responses: list[dict] = []
+            for outcome in execute_batch(tasks, jobs=jobs, timeout=timeout):
+                if outcome.ok:
+                    responses.append(outcome.value)
+                else:
+                    responses.append(self._outcome_entry(outcome))
+            return responses
+
+    def _traced_task(self, trace, item_span: Span, payload) -> Callable[[], dict]:
+        def run() -> dict:
+            with trace.attach(item_span):
+                return self._label_request(LabelingRequest.from_payload(payload))
+
+        return run
 
     @staticmethod
     def _outcome_entry(outcome: BatchOutcome) -> dict:
@@ -830,7 +941,25 @@ class LabelingEngine:
 
         if pending:
             order = list(pending.items())
-            tasks = [PayloadTask(payloads[indices[0]]) for _, indices in order]
+            trace = current_trace()
+            parent = current_span()
+            task_spans: list[Span] | None = None
+            if trace is not None and parent is not None:
+                # Mirror execute_batch's default chunking so each item span
+                # carries the chunk it actually shipped in.
+                chunksize = (
+                    1 if timeout is not None else max(1, len(order) // (jobs * 4))
+                )
+                task_spans = []
+                for position, (_key, indices) in enumerate(order):
+                    sp = Span(f"item[{indices[0]}]", {"chunk": position // chunksize})
+                    sp.start_s = sp.end_s = trace.clock()
+                    parent.children.append(sp)
+                    task_spans.append(sp)
+            tasks = [
+                PayloadTask(payloads[indices[0]], trace=task_spans is not None)
+                for _, indices in order
+            ]
             outcomes = execute_batch(
                 tasks,
                 jobs=jobs,
@@ -839,13 +968,27 @@ class LabelingEngine:
                 initializer=init_worker,
                 initargs=(default_compiled(),),
             )
-            for (_key, indices), outcome in zip(order, outcomes):
+            for position, ((_key, indices), outcome) in enumerate(
+                zip(order, outcomes)
+            ):
                 if outcome.ok:
                     with self._lock:
                         self._computations += 1  # computed in a worker process
                     response = outcome.value
+                    worker_tree = (
+                        response.pop("_obs_trace", None)
+                        if isinstance(response, dict)
+                        else None
+                    )
+                    if task_spans is not None and worker_tree:
+                        # Graft the worker-process span tree under this
+                        # item's span, re-based onto the parent timeline.
+                        sp = task_spans[position]
+                        grafted = Span.from_dict(worker_tree, base_s=sp.start_s)
+                        sp.children.append(grafted)
+                        sp.end_s = grafted.end_s
                     stored = copy.deepcopy(response)
-                    for volatile in ("cached", "lint", "resilience"):
+                    for volatile in ("cached", "lint", "resilience", "_obs_trace"):
                         stored.pop(volatile, None)
                     self._store_response(
                         requests[indices[0]].fingerprint, stored, requests[indices[0]]

@@ -31,6 +31,7 @@ __all__ = [
     "PayloadTask",
     "default_jobs",
     "init_worker",
+    "normalize_jobs",
     "worker_comparator",
     "worker_engine",
 ]
@@ -55,6 +56,28 @@ def default_jobs() -> int:
     except (AttributeError, OSError):  # pragma: no cover - non-Linux
         cores = os.cpu_count() or 1
     return max(1, min(MAX_DEFAULT_JOBS, cores))
+
+
+def normalize_jobs(jobs) -> int:
+    """Normalize a ``jobs`` knob to a usable worker count (``>= 1``).
+
+    ``None`` means "pick for me" and resolves to :func:`default_jobs`
+    (which itself survives ``os.cpu_count()`` returning ``None``).  ``0``
+    is clamped to 1 — "no parallelism", not "no workers".  A negative or
+    non-integral value is a caller bug and raises ``ValueError`` with a
+    message naming the offender; the HTTP layer maps that to a 400.
+    """
+    if jobs is None:
+        return default_jobs()
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        try:
+            coerced = int(str(jobs))
+        except (TypeError, ValueError):
+            raise ValueError(f"jobs must be an integer, got {jobs!r}") from None
+        jobs = coerced
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return max(1, jobs)
 
 
 def validate_executor(executor: str) -> str:
@@ -118,10 +141,11 @@ class PayloadTask:
     :class:`~repro.service.engine.BatchOutcome` classification.
     """
 
-    __slots__ = ("payload",)
+    __slots__ = ("payload", "trace")
 
-    def __init__(self, payload) -> None:
+    def __init__(self, payload, trace: bool = False) -> None:
         self.payload = payload
+        self.trace = trace
 
     def __call__(self) -> dict:
         # Mirror the thread backend's task body (parse, then the resilience
@@ -129,7 +153,21 @@ class PayloadTask:
         from .engine import LabelingRequest
 
         engine = worker_engine()
-        return engine._label_request(LabelingRequest.from_payload(self.payload))
+        request = LabelingRequest.from_payload(self.payload)
+        if not self.trace:
+            return engine._label_request(request)
+        # The parent asked for spans: build a standalone worker-local trace
+        # and ship its tree home inside the response (the parent pops the
+        # key and grafts the tree under this item's span).
+        from ..obs.tracer import Trace
+
+        trace = Trace(name="worker")
+        trace.root.tags["pid"] = os.getpid()
+        with trace.scope():
+            response = engine._label_request(request)
+        if isinstance(response, dict):
+            response["_obs_trace"] = trace.root.to_dict(trace.root.start_s)
+        return response
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"PayloadTask({type(self.payload).__name__})"

@@ -13,6 +13,17 @@ Endpoints
                    engine fans the items over its batch executor; per-item
                    failures come back as error entries, HTTP status stays
                    200.
+``GET /trace/<id>``  the span trace of a recently served request (see
+                   :mod:`repro.obs`), from a bounded in-memory LRU; 404
+                   once evicted or when tracing is disabled.
+
+Every POST response (success, error, 429/503 shed alike) carries a
+``request_id`` — honored from an ``X-Request-Id`` request header or
+generated — echoed both in the JSON payload and as an ``X-Request-Id``
+response header.  With tracing enabled (``tracing=True`` or a trace log
+configured), each POST runs under a request-scoped trace whose span tree
+lands in the LRU behind ``GET /trace/<id>`` and, with ``serve
+--trace-log DIR``, in a CRC-safe JSONL span log.
 
 Both POST endpoints pass through a bounded admission queue
 (:class:`repro.resilience.AdmissionController`): work beyond the
@@ -36,6 +47,7 @@ import time
 from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from ..obs import Trace, TraceLog, TraceStore, new_request_id
 from ..resilience import (
     AdmissionController,
     CircuitOpenError,
@@ -44,7 +56,19 @@ from ..resilience import (
 )
 from .engine import LabelingEngine, RequestError
 
-__all__ = ["LabelingServer", "MetricsRegistry"]
+__all__ = ["LabelingServer", "MetricsRegistry", "PayloadTooLargeError"]
+
+
+class PayloadTooLargeError(Exception):
+    """A declared request body too large to read (maps to HTTP 413)."""
+
+    def __init__(self, declared: int, limit: int) -> None:
+        super().__init__(
+            f"declared Content-Length {declared} exceeds the "
+            f"{limit}-byte limit"
+        )
+        self.declared = declared
+        self.limit = limit
 
 
 class MetricsRegistry:
@@ -113,12 +137,18 @@ class _LabelingHTTPServer(ThreadingHTTPServer):
         engine: LabelingEngine,
         quiet: bool = True,
         admission: AdmissionController | None = None,
+        tracing: bool = False,
+        trace_log: TraceLog | None = None,
+        trace_capacity: int = 128,
     ):
         super().__init__(address, _Handler)
         self.engine = engine
         self.metrics = MetricsRegistry()
         self.quiet = quiet
         self.admission = admission or AdmissionController()
+        self.trace_log = trace_log
+        self.tracing = bool(tracing or trace_log is not None)
+        self.traces = TraceStore(capacity=trace_capacity)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -126,6 +156,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     server: _LabelingHTTPServer
     protocol_version = "HTTP/1.1"
+
+    #: Hard cap on a declared request body.  A client announcing more gets
+    #: a clean 413 *before* the server tries to read it — blindly trusting
+    #: a huge Content-Length would block the handler on ``rfile.read``.
+    MAX_BODY_BYTES = 16 * 1024 * 1024
 
     # ------------------------------------------------------------------
     # Plumbing.
@@ -148,23 +183,45 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _read_json(self):
-        length = int(self.headers.get("Content-Length") or 0)
+        declared = self.headers.get("Content-Length")
+        try:
+            length = int(declared or 0)
+        except ValueError:
+            # A garbage header is the client's bug: answer 400, not 500.
+            raise RequestError(
+                f"invalid Content-Length header: {declared!r}"
+            ) from None
         if length <= 0:
             raise RequestError("request body required")
+        if length > self.MAX_BODY_BYTES:
+            raise PayloadTooLargeError(length, self.MAX_BODY_BYTES)
         raw = self.rfile.read(length)
         try:
             return json.loads(raw)
         except json.JSONDecodeError as exc:
             raise RequestError(f"body is not valid JSON: {exc}") from None
 
-    def _handle(self, endpoint: str, fn) -> None:
+    def _handle(self, endpoint: str, fn, request_id: str | None = None) -> None:
         start = time.perf_counter()
         headers: dict | None = None
+        trace: Trace | None = None
+        if request_id is not None and self.server.tracing:
+            trace = Trace(request_id=request_id, name=endpoint.lstrip("/") or "request")
+            inner = fn
+
+            def fn():
+                with trace.scope():
+                    return inner()
+
         try:
             status, payload = fn()
         except RequestError as exc:
             status, payload = 400, {
                 "ok": False, "error": str(exc), "error_type": "invalid_request",
+            }
+        except PayloadTooLargeError as exc:
+            status, payload = 413, {
+                "ok": False, "error": str(exc), "error_type": "payload_too_large",
             }
         except TimeoutError as exc:
             status, payload = 504, {
@@ -207,6 +264,17 @@ class _Handler(BaseHTTPRequestHandler):
                 "error_type": "internal",
             }
         elapsed_ms = (time.perf_counter() - start) * 1000.0
+        if request_id is not None:
+            if isinstance(payload, dict):
+                payload["request_id"] = request_id
+            headers = {**(headers or {}), "X-Request-Id": request_id}
+        if trace is not None:
+            trace.meta["endpoint"] = endpoint
+            trace.meta["status"] = status
+            record = trace.to_dict()
+            self.server.traces.put(record)
+            if self.server.trace_log is not None:
+                self.server.trace_log.append(record)
         self.server.metrics.record(endpoint, status, elapsed_ms)
         self._send_json(status, payload, headers)
 
@@ -226,6 +294,8 @@ class _Handler(BaseHTTPRequestHandler):
                 "engine": self.server.engine.stats(),
                 "admission": self.server.admission.stats(),
             }))
+        elif self.path.startswith("/trace/"):
+            self._handle("/trace", self._get_trace)
         else:
             self._handle(self.path, lambda: (404, {
                 "ok": False, "error": f"no such endpoint {self.path!r}",
@@ -233,15 +303,35 @@ class _Handler(BaseHTTPRequestHandler):
             }))
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        request_id = (
+            (self.headers.get("X-Request-Id") or "").strip()[:128]
+            or new_request_id()
+        )
         if self.path == "/label":
-            self._handle("/label", self._post_label)
+            self._handle("/label", self._post_label, request_id=request_id)
         elif self.path == "/batch":
-            self._handle("/batch", self._post_batch)
+            self._handle("/batch", self._post_batch, request_id=request_id)
         else:
             self._handle(self.path, lambda: (404, {
                 "ok": False, "error": f"no such endpoint {self.path!r}",
                 "error_type": "not_found",
             }))
+
+    def _get_trace(self):
+        request_id = self.path[len("/trace/"):]
+        record = self.server.traces.get(request_id)
+        if record is None:
+            detail = (
+                "tracing is disabled on this server"
+                if not self.server.tracing
+                else "not traced, or evicted from the trace store"
+            )
+            return 404, {
+                "ok": False,
+                "error": f"no trace for request id {request_id!r} ({detail})",
+                "error_type": "not_found",
+            }
+        return 200, {"ok": True, "trace": record}
 
     def _post_label(self):
         payload = self._read_json()
@@ -300,6 +390,9 @@ class LabelingServer:
         retry_after_s: float = 0.5,
         executor: str = "thread",
         disk_cache=None,
+        tracing: bool = False,
+        trace_log=None,
+        trace_capacity: int = 128,
     ) -> None:
         self.engine = engine or LabelingEngine(
             cache_size=cache_size,
@@ -307,6 +400,9 @@ class LabelingServer:
             executor=executor,
             disk_cache=disk_cache,
         )
+        # A trace log may arrive as a TraceLog or as a directory path.
+        if trace_log is not None and not isinstance(trace_log, TraceLog):
+            trace_log = TraceLog(trace_log)
         self._httpd = _LabelingHTTPServer(
             (host, port),
             self.engine,
@@ -316,6 +412,9 @@ class LabelingServer:
                 max_queue=max_queue,
                 retry_after_s=retry_after_s,
             ),
+            tracing=tracing,
+            trace_log=trace_log,
+            trace_capacity=trace_capacity,
         )
         self._thread: threading.Thread | None = None
         self._loop_entered = False
@@ -324,6 +423,14 @@ class LabelingServer:
     @property
     def admission(self) -> AdmissionController:
         return self._httpd.admission
+
+    @property
+    def traces(self) -> TraceStore:
+        return self._httpd.traces
+
+    @property
+    def trace_log(self) -> TraceLog | None:
+        return self._httpd.trace_log
 
     @property
     def host(self) -> str:

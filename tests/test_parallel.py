@@ -10,6 +10,9 @@ cannot apply (``jobs <= 1`` or an active fault plan).
 from __future__ import annotations
 
 import json
+import logging
+import multiprocessing
+import os
 
 import pytest
 
@@ -21,6 +24,7 @@ from repro.service.parallel import (
     EXECUTORS,
     PayloadTask,
     default_jobs,
+    normalize_jobs,
     validate_executor,
 )
 
@@ -237,3 +241,110 @@ def test_table6_output_byte_identical_across_executors(capsys):
     assert main(argv + ["--jobs", "2", "--executor", "thread"]) == 0
     threaded = capsys.readouterr().out
     assert threaded == sequential
+
+
+# ----------------------------------------------------------------------
+# normalize_jobs: every --jobs entry point must survive cpu_count()=None,
+# jobs=0, and reject negatives with a clear error.
+# ----------------------------------------------------------------------
+
+
+class TestNormalizeJobs:
+    def test_none_uses_cpu_derived_default(self):
+        assert normalize_jobs(None) == default_jobs()
+
+    def test_none_cpu_count_still_yields_at_least_one(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert normalize_jobs(None) >= 1
+
+    def test_zero_normalizes_to_one(self):
+        assert normalize_jobs(0) == 1
+
+    def test_positive_passes_through(self):
+        assert normalize_jobs(3) == 3
+
+    def test_numeric_string_is_coerced(self):
+        assert normalize_jobs("4") == 4
+
+    def test_negative_is_a_clear_error(self):
+        with pytest.raises(ValueError, match="jobs must be >= 0, got -2"):
+            normalize_jobs(-2)
+
+    def test_garbage_is_a_clear_error(self):
+        with pytest.raises(ValueError, match="jobs must be an integer"):
+            normalize_jobs("many")
+
+    def test_engine_normalizes_constructor_jobs(self):
+        assert LabelingEngine(cache_size=0, jobs=0).default_jobs == 1
+        with pytest.raises(ValueError, match="jobs must be >= 0"):
+            LabelingEngine(cache_size=0, jobs=-1)
+
+    def test_engine_batch_normalizes_explicit_jobs(self):
+        engine = LabelingEngine(cache_size=0)
+        responses = engine.label_batch([{"domain": "job", "seed": 0}], jobs=0)
+        assert [r["ok"] for r in responses] == [True]
+
+    def test_execute_batch_normalizes_jobs(self):
+        results = execute_batch([_Square(3)], jobs=0)
+        assert results[0].value == 9
+        with pytest.raises(ValueError, match="jobs must be >= 0"):
+            execute_batch([_Square(3)], jobs=-4)
+
+    def test_cli_jobs_flag_rejects_negatives(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["table6", "--jobs", "-2"])
+        assert excinfo.value.code == 2
+        assert "jobs must be >= 0" in capsys.readouterr().err
+
+    def test_cli_jobs_flag_accepts_zero(self):
+        args = build_parser().parse_args(["table6", "--jobs", "0"])
+        assert args.jobs == 1
+
+
+# ----------------------------------------------------------------------
+# The process backend under the spawn start method.
+# ----------------------------------------------------------------------
+
+
+class TestSpawnStartMethod:
+    def test_execute_batch_under_spawn_context(self):
+        # spawn re-imports the worker module from scratch: the
+        # initializer and tasks must not capture unpicklable state.
+        ctx = multiprocessing.get_context("spawn")
+        results = execute_batch(
+            [_Square(n) for n in range(4)],
+            jobs=2,
+            executor="process",
+            mp_context=ctx,
+        )
+        assert [r.value for r in results] == [0, 1, 4, 9]
+        assert all(r.error is None for r in results)
+
+    def test_payload_task_under_spawn_matches_inline(self):
+        ctx = multiprocessing.get_context("spawn")
+        payload = {"domain": "job", "seed": 0}
+        spawned = execute_batch(
+            [PayloadTask(payload)], jobs=2, executor="process", mp_context=ctx
+        )[0]
+        assert spawned.error is None
+        inline = LabelingEngine(cache_size=0).label(payload)
+        assert _strip_timing(spawned.value) == _strip_timing(inline)
+
+    def test_broken_pool_falls_back_to_threads_with_warning(self, caplog):
+        # A worker bootstrap that dies on import must not take the batch
+        # down with it: execute_batch logs and reruns on threads.
+        def exploding_initializer():
+            os._exit(13)
+
+        with caplog.at_level(logging.WARNING, logger="repro.service.engine"):
+            results = execute_batch(
+                [_Square(n) for n in range(3)],
+                jobs=2,
+                executor="process",
+                initializer=exploding_initializer,
+            )
+        assert [r.value for r in results] == [0, 1, 4]
+        assert any(
+            "falling back to thread backend" in record.message
+            for record in caplog.records
+        )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import time
 
 import pytest
@@ -487,3 +488,173 @@ class TestClientErrorPaths:
                 client.label(domain="no-such-domain")
             assert excinfo.value.status == 400
             assert client.last_attempts == 1
+
+
+class TestContentLengthHandling:
+    """POST body framing: the server must never 500 (or hang) on a bad
+    Content-Length — missing, zero, garbage, or absurdly large."""
+
+    @pytest.fixture(scope="class")
+    def server(self):
+        with LabelingServer(port=0, cache_size=4) as running:
+            yield running
+
+    @staticmethod
+    def _raw_post(server, headers: dict, body: bytes = b""):
+        """POST with full control over the headers urllib would normalize."""
+        import http.client
+        from urllib.parse import urlsplit
+
+        parts = urlsplit(server.url)
+        conn = http.client.HTTPConnection(parts.hostname, parts.port, timeout=10)
+        try:
+            conn.putrequest("POST", "/label", skip_accept_encoding=True)
+            for name, value in headers.items():
+                conn.putheader(name, value)
+            conn.endheaders()
+            if body:
+                conn.send(body)
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            return response.status, payload
+        finally:
+            conn.close()
+
+    def test_missing_content_length_is_400(self, server):
+        status, payload = self._raw_post(
+            server, {"Content-Type": "application/json"}
+        )
+        assert status == 400
+        assert payload["error_type"] == "invalid_request"
+        assert "body required" in payload["error"]
+        assert payload["request_id"]
+
+    def test_zero_content_length_is_400(self, server):
+        status, payload = self._raw_post(
+            server,
+            {"Content-Type": "application/json", "Content-Length": "0"},
+        )
+        assert status == 400
+        assert "body required" in payload["error"]
+
+    def test_garbage_content_length_is_400_not_500(self, server):
+        status, payload = self._raw_post(
+            server,
+            {"Content-Type": "application/json", "Content-Length": "banana"},
+        )
+        assert status == 400
+        assert payload["error_type"] == "invalid_request"
+        assert "invalid Content-Length" in payload["error"]
+        assert "'banana'" in payload["error"]
+
+    def test_oversized_declared_length_is_413_without_reading(self, server):
+        # Declare far more than MAX_BODY_BYTES but send nothing: the
+        # server must answer 413 immediately instead of blocking on a
+        # body that never arrives.
+        declared = 64 * 1024 * 1024
+        status, payload = self._raw_post(
+            server,
+            {
+                "Content-Type": "application/json",
+                "Content-Length": str(declared),
+            },
+        )
+        assert status == 413
+        assert payload["error_type"] == "payload_too_large"
+        assert str(declared) in payload["error"]
+        # The connection misbehavior did not wedge the server.
+        assert ServiceClient(server.url, timeout=10).healthz()["status"] == "ok"
+
+
+class TestClientErrorBodyShapes:
+    """The retry loop must survive whatever JSON shape an error body has."""
+
+    @staticmethod
+    def _serve_one(status: int, body: bytes, headers: dict | None = None):
+        import threading
+        from http.server import BaseHTTPRequestHandler, HTTPServer
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self):
+                self.send_response(status)
+                for name, value in (headers or {}).items():
+                    self.send_header(name, value)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format, *args):  # noqa: A002
+                pass
+
+        httpd = HTTPServer(("127.0.0.1", 0), Handler)
+        threading.Thread(target=httpd.serve_forever, daemon=True).start()
+        return httpd
+
+    def test_json_array_error_body_does_not_crash_client(self):
+        # A non-repro upstream may answer an error with a JSON array;
+        # the client used to call .get on it and die with AttributeError.
+        httpd = self._serve_one(500, b'["oops", "broken"]')
+        try:
+            url = f"http://127.0.0.1:{httpd.server_address[1]}"
+            client = ServiceClient(url, timeout=5, retries=0)
+            with pytest.raises(ServiceError) as excinfo:
+                client.healthz()
+            assert excinfo.value.status == 500
+            assert excinfo.value.payload == {}
+            assert "oops" in str(excinfo.value)
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+
+    def test_http_date_retry_after_falls_back_to_backoff(self):
+        # RFC 7231 allows Retry-After as an HTTP-date; float() on it used
+        # to raise ValueError straight out of the retry loop.
+        error = ServiceError(429, {}, "overloaded")
+        error.retry_after_header = "Wed, 21 Oct 2026 07:28:00 GMT"
+        client = ServiceClient("http://127.0.0.1:1", backoff_s=0.07)
+        assert client._delay_for(error) == pytest.approx(0.07)
+
+    def test_garbage_retry_after_payload_falls_back(self):
+        error = ServiceError(429, {"retry_after": "soon-ish"}, "overloaded")
+        client = ServiceClient("http://127.0.0.1:1", backoff_s=0.03)
+        assert client._delay_for(error) == pytest.approx(0.03)
+
+    def test_http_date_retry_after_is_retried_end_to_end(self):
+        # 429 with only an HTTP-date Retry-After header must still be
+        # retried (on the client's own backoff), not explode.
+        import threading
+        from http.server import BaseHTTPRequestHandler, HTTPServer
+
+        hits = []
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self):
+                hits.append(1)
+                if len(hits) == 1:
+                    body = b'{"ok": false, "error_type": "overloaded"}'
+                    self.send_response(429)
+                    self.send_header(
+                        "Retry-After", "Wed, 21 Oct 2026 07:28:00 GMT"
+                    )
+                else:
+                    body = b'{"status": "ok"}'
+                    self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format, *args):  # noqa: A002
+                pass
+
+        httpd = HTTPServer(("127.0.0.1", 0), Handler)
+        threading.Thread(target=httpd.serve_forever, daemon=True).start()
+        try:
+            url = f"http://127.0.0.1:{httpd.server_address[1]}"
+            client = ServiceClient(url, timeout=5, retries=2, backoff_s=0.01)
+            assert client.healthz() == {"status": "ok"}
+            assert client.last_attempts == 2
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
